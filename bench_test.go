@@ -1,0 +1,254 @@
+// Top-level benchmark harness: one testing.B benchmark per paper table and
+// figure (driving the same experiment code as cmd/sparsebench, at the tiny
+// preset so `go test -bench=.` completes quickly), plus exec-mode kernel and
+// runtime microbenchmarks that run real goroutine-parallel code on the host.
+//
+// To regenerate a figure at full scale, use cmd/sparsebench with
+// -preset small (or medium) instead; the benchmarks here are smoke-scale.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"sparsetask/internal/bench"
+	"sparsetask/internal/graph"
+	"sparsetask/internal/kernels"
+	"sparsetask/internal/matgen"
+	"sparsetask/internal/program"
+	"sparsetask/internal/rt"
+	"sparsetask/internal/solver"
+	"sparsetask/internal/sparse"
+)
+
+// benchCfg is the standard configuration for experiment benchmarks.
+func benchCfg(matrices ...string) *bench.Config {
+	return &bench.Config{
+		Preset:     matgen.Tiny,
+		Seed:       1,
+		Iterations: 1,
+		Matrices:   matrices,
+	}
+}
+
+func runExperiment(b *testing.B, id string, matrices ...string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(benchCfg(matrices...)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- one benchmark per table/figure ----
+
+func BenchmarkTable1Suite(b *testing.B) {
+	runExperiment(b, "table1", "inline1", "nlpkkt160", "twitter7")
+}
+
+func BenchmarkFig3TaskGraph(b *testing.B) { runExperiment(b, "fig3") }
+
+func BenchmarkFig5FirstTouch(b *testing.B) {
+	runExperiment(b, "fig5", "inline1", "nlpkkt160")
+}
+
+func BenchmarkFig6SkipEmpty(b *testing.B) {
+	runExperiment(b, "fig6", "nlpkkt240", "twitter7")
+}
+
+func BenchmarkFig7ReduceVsDep(b *testing.B) {
+	runExperiment(b, "fig7", "inline1", "nlpkkt160")
+}
+
+func BenchmarkFig8LanczosCache(b *testing.B) {
+	runExperiment(b, "fig8", "nlpkkt160", "twitter7")
+}
+
+func BenchmarkFig9LanczosSpeedup(b *testing.B) {
+	runExperiment(b, "fig9", "nlpkkt160", "twitter7")
+}
+
+func BenchmarkFig10LanczosFlowGraph(b *testing.B) {
+	runExperiment(b, "fig10", "nlpkkt240")
+}
+
+func BenchmarkFig11LOBPCGCache(b *testing.B) {
+	runExperiment(b, "fig11", "inline1", "nlpkkt160")
+}
+
+func BenchmarkFig12LOBPCGSpeedup(b *testing.B) {
+	runExperiment(b, "fig12", "nlpkkt160")
+}
+
+func BenchmarkFig13LOBPCGFlowGraph(b *testing.B) {
+	runExperiment(b, "fig13", "nlpkkt240")
+}
+
+func BenchmarkFig14BlockTune(b *testing.B) {
+	runExperiment(b, "fig14", "nlpkkt160")
+}
+
+func BenchmarkHeuristicBlockSweep(b *testing.B) {
+	runExperiment(b, "heuristic", "nlpkkt160")
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	runExperiment(b, "headline", "nlpkkt160", "twitter7")
+}
+
+// ---- exec-mode microbenchmarks (real goroutine execution on the host) ----
+
+func benchMatrix(b *testing.B) *sparse.COO {
+	b.Helper()
+	return matgen.KKT(14, 1) // 5488 rows, ~27 nnz/row
+}
+
+func BenchmarkKernelSpMVCSR(b *testing.B) {
+	coo := benchMatrix(b)
+	csr := coo.ToCSR()
+	x := make([]float64, coo.Cols)
+	y := make([]float64, coo.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(int64(csr.NNZ()) * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.SpMV(y, x)
+	}
+}
+
+func BenchmarkKernelSpMVCSB(b *testing.B) {
+	coo := benchMatrix(b)
+	csb := coo.ToCSB(128)
+	x := make([]float64, coo.Cols)
+	y := make([]float64, coo.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(int64(csb.NNZ()) * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csb.SpMV(y, x)
+	}
+}
+
+func BenchmarkKernelSpMM8(b *testing.B) {
+	coo := benchMatrix(b)
+	csb := coo.ToCSB(128)
+	const n = 8
+	x := make([]float64, coo.Cols*n)
+	y := make([]float64, coo.Rows*n)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(int64(csb.NNZ()) * 8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csb.SpMM(y, x, n)
+	}
+}
+
+// benchTDG builds a Listing-1 LOBPCG-iteration-like graph for runtime
+// benchmarking.
+func benchTDG(b *testing.B) (*graph.TDG, *program.Store) {
+	b.Helper()
+	coo := benchMatrix(b)
+	csb := coo.ToCSB((coo.Rows + 63) / 64)
+	l, err := solver.NewLOBPCG(csb, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := program.NewStore(l.Program())
+	st.SetSparse(0, csb)
+	for i := range st.Vec {
+		for j := range st.Vec[i] {
+			st.Vec[i][j] = float64(j%7) * 0.1
+		}
+	}
+	return l.Graph(), st
+}
+
+func benchRuntime(b *testing.B, r rt.Runtime) {
+	g, st := benchTDG(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(g, st)
+	}
+}
+
+func BenchmarkRuntimeSequential(b *testing.B) {
+	g, st := benchTDG(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.RunSequential(g, st)
+	}
+}
+
+func BenchmarkRuntimeBSP(b *testing.B)        { benchRuntime(b, rt.NewBSP(rt.Options{})) }
+func BenchmarkRuntimeDeepSparse(b *testing.B) { benchRuntime(b, rt.NewDeepSparse(rt.Options{})) }
+func BenchmarkRuntimeHPX(b *testing.B)        { benchRuntime(b, rt.NewHPX(rt.Options{})) }
+func BenchmarkRuntimeRegent(b *testing.B) {
+	benchRuntime(b, rt.NewRegent(rt.Options{DynamicTracing: true}))
+}
+
+// BenchmarkGraphBuild measures TDG generation cost (the DeepSparse "PCU"
+// overhead the paper argues is negligible relative to solve time).
+func BenchmarkGraphBuild(b *testing.B) {
+	coo := benchMatrix(b)
+	csb := coo.ToCSB((coo.Rows + 63) / 64)
+	for i := 0; i < b.N; i++ {
+		l, err := solver.NewLOBPCG(csb, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if l.Graph() == nil {
+			b.Fatal("no graph")
+		}
+	}
+}
+
+// TestBenchmarkHarnessSmoke keeps `go test ./...` exercising this file even
+// without -bench, so a broken experiment is caught by the test suite.
+func TestBenchmarkHarnessSmoke(t *testing.T) {
+	for _, id := range []string{"table1", "fig3"} {
+		e, err := bench.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(benchCfg("inline1")); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	// Exec-mode graph sanity.
+	coo := matgen.KKT(6, 1)
+	csb := coo.ToCSB(32)
+	l, err := solver.NewLanczos(csb, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Run(rt.NewDeepSparse(rt.Options{Workers: 2}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Eigenvalues) == 0 {
+		t.Fatal("no eigenvalues")
+	}
+	fmt.Fprintf(testingDiscard{}, "%v", res.Eigenvalues)
+}
+
+type testingDiscard struct{}
+
+func (testingDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+func BenchmarkAblation(b *testing.B) {
+	runExperiment(b, "ablation", "nlpkkt160", "twitter7")
+}
+
+func BenchmarkFutureWorkDistributed(b *testing.B) {
+	runExperiment(b, "futurework", "nlpkkt240")
+}

@@ -1,0 +1,3 @@
+module sparsetask
+
+go 1.22

@@ -1,0 +1,171 @@
+// Package autotune implements the paper's §5.4 block-size selection
+// heuristic as a library: instead of brute-forcing every block size from
+// 2^10 to 2^24, the optimal CSB block size always lands the per-dimension
+// block count in [8, 511], so tuning reduces to evaluating one candidate
+// per bin — six trials — and picking the fastest.
+//
+// Evaluation can run against the discrete-event simulator (deterministic,
+// machine-model-driven — the default) or against any user-supplied evaluator
+// (e.g. wall-clock runs of the real runtimes on the host).
+package autotune
+
+import (
+	"fmt"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/machine"
+	"sparsetask/internal/sim"
+	"sparsetask/internal/solver"
+	"sparsetask/internal/sparse"
+)
+
+// Bins are the six block-count bins of §5.4 with their geometric-midpoint
+// representatives. The paper's rule of thumb: the optimum is always in one
+// of these bins, with DeepSparse favoring 32–63 (Broadwell) / 64–127 (EPYC),
+// HPX 64–127, and Regent 16–31.
+var Bins = []struct {
+	Label string
+	Lo    int
+	Hi    int
+	Rep   int
+}{
+	{"8-15", 8, 15, 11},
+	{"16-31", 16, 31, 23},
+	{"32-63", 32, 63, 45},
+	{"64-127", 64, 127, 90},
+	{"128-255", 128, 255, 181},
+	{"256-511", 256, 511, 362},
+}
+
+// Solver selects which benchmark application the tuned graph runs.
+type Solver int
+
+// The two paper applications.
+const (
+	Lanczos Solver = iota
+	LOBPCG
+)
+
+// Evaluator measures the cost of executing one solver iteration when the
+// matrix is tiled at the given block count. Lower is better. An error marks
+// the candidate infeasible (it is skipped).
+type Evaluator func(blockCount int) (float64, error)
+
+// Result reports a tuning run.
+type Result struct {
+	BlockCount int     // the winning representative block count
+	Block      int     // the corresponding CSB block size in rows
+	Bin        string  // the winning bin label
+	Cost       float64 // evaluator cost at the winner
+	// Trials records every evaluated (blockCount, cost) pair in bin order.
+	Trials []Trial
+}
+
+// Trial is one evaluated candidate.
+type Trial struct {
+	Bin        string
+	BlockCount int
+	Cost       float64
+	Err        error
+}
+
+// Tune runs the six-bin search with the given evaluator for a matrix with
+// `rows` rows. Block counts that exceed rows are skipped.
+func Tune(rows int, eval Evaluator) (Result, error) {
+	if rows <= 0 {
+		return Result{}, fmt.Errorf("autotune: rows must be positive, got %d", rows)
+	}
+	res := Result{Cost: -1}
+	for _, bin := range Bins {
+		bc := bin.Rep
+		if bc > rows {
+			continue
+		}
+		cost, err := eval(bc)
+		res.Trials = append(res.Trials, Trial{Bin: bin.Label, BlockCount: bc, Cost: cost, Err: err})
+		if err != nil {
+			continue
+		}
+		if res.Cost < 0 || cost < res.Cost {
+			res.Cost = cost
+			res.BlockCount = bc
+			res.Bin = bin.Label
+		}
+	}
+	if res.Cost < 0 {
+		return res, fmt.Errorf("autotune: no feasible block count for %d rows", rows)
+	}
+	res.Block = (rows + res.BlockCount - 1) / res.BlockCount
+	return res, nil
+}
+
+// SimEvaluator returns an Evaluator that builds the solver's per-iteration
+// TDG at each candidate block count and measures one warm iteration on the
+// discrete-event simulator with the given machine model and policy factory.
+func SimEvaluator(coo *sparse.COO, sv Solver, mach machine.Model, pol func(machine.Model) sim.Policy) Evaluator {
+	return func(blockCount int) (float64, error) {
+		block := (coo.Rows + blockCount - 1) / blockCount
+		csb := coo.ToCSB(block)
+		var g *graph.TDG
+		switch sv {
+		case Lanczos:
+			l, err := solver.NewLanczos(csb, 10)
+			if err != nil {
+				return 0, err
+			}
+			g = l.Graph()
+		case LOBPCG:
+			l, err := solver.NewLOBPCG(csb, 8)
+			if err != nil {
+				return 0, err
+			}
+			g = l.Graph()
+		default:
+			return 0, fmt.Errorf("autotune: unknown solver %d", sv)
+		}
+		p := pol(mach)
+		s := sim.New(mach, true)
+		s.PlaceFirstTouch(g, p.Workers())
+		if _, err := s.Run(g, p, nil); err != nil { // warm caches
+			return 0, err
+		}
+		r, err := s.Run(g, p, nil)
+		if err != nil {
+			return 0, err
+		}
+		return float64(r.MakespanNs), nil
+	}
+}
+
+// GraphEvaluator returns an Evaluator that scores candidates analytically
+// without simulation: estimated makespan = max(work/w, span) under the flop
+// cost model plus per-task overhead on w workers. Orders of magnitude
+// cheaper than simulation; useful as a pre-filter or when no machine model
+// applies.
+func GraphEvaluator(coo *sparse.COO, sv Solver, workers int, flopsPerNs, overheadNs float64) Evaluator {
+	return func(blockCount int) (float64, error) {
+		block := (coo.Rows + blockCount - 1) / blockCount
+		csb := coo.ToCSB(block)
+		var g *graph.TDG
+		switch sv {
+		case Lanczos:
+			l, err := solver.NewLanczos(csb, 10)
+			if err != nil {
+				return 0, err
+			}
+			g = l.Graph()
+		case LOBPCG:
+			l, err := solver.NewLOBPCG(csb, 8)
+			if err != nil {
+				return 0, err
+			}
+			g = l.Graph()
+		default:
+			return 0, fmt.Errorf("autotune: unknown solver %d", sv)
+		}
+		b := g.ComputeBounds(func(t *graph.Task) float64 {
+			return float64(t.Flops)/flopsPerNs + overheadNs
+		})
+		return b.LowerBound(workers), nil
+	}
+}

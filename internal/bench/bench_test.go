@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sparsetask/internal/matgen"
+)
+
+// tinyCfg keeps experiment tests fast: tiny preset, 3-4 matrices, 1-2 iters.
+func tinyCfg(matrices ...string) *Config {
+	return &Config{
+		Preset:     matgen.Tiny,
+		Seed:       1,
+		Iterations: 1,
+		Matrices:   matrices,
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil || e.Paper == "" || e.Desc == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "heuristic", "headline"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestVersionsComplete(t *testing.T) {
+	vs := Versions()
+	if len(vs) != 5 {
+		t.Fatalf("%d versions, want 5", len(vs))
+	}
+	if vs[0].Name != "libcsr" {
+		t.Fatalf("first version %s, want libcsr (normalization baseline)", vs[0].Name)
+	}
+	if _, err := VersionByName("hpx"); err != nil {
+		t.Error(err)
+	}
+	if _, err := VersionByName("nope"); err == nil {
+		t.Error("VersionByName accepted unknown name")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := runTable1(tinyCfg("inline1", "nlpkkt160", "twitter7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(r.Rows))
+	}
+	if r.Metrics["rows/inline1"] <= 0 || r.Metrics["nnz/nlpkkt160"] <= 0 {
+		t.Error("missing metrics")
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "twitter7") {
+		t.Errorf("render missing matrix name:\n%s", buf.String())
+	}
+}
+
+func TestFig3DOT(t *testing.T) {
+	r, err := runFig3(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["tasks"] != 16 {
+		t.Errorf("fig3 tasks = %v, want 16", r.Metrics["tasks"])
+	}
+	joined := strings.Join(r.Notes, "\n")
+	if !strings.Contains(joined, "digraph") {
+		t.Error("fig3 notes missing DOT output")
+	}
+}
+
+func TestFig5FirstTouchHelps(t *testing.T) {
+	r, err := runFig5(tinyCfg("inline1", "nlpkkt160"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["geomean_speedup"] < 1.0 {
+		t.Errorf("first touch should not slow things down: geomean %v", r.Metrics["geomean_speedup"])
+	}
+}
+
+func TestFig6SkipEmptyHelps(t *testing.T) {
+	// Banded matrices (KKT, CFD band) leave many off-band tiles empty at
+	// HPX's block count; skipping them shortens the serial dataflow-spawn
+	// pass.
+	r, err := runFig6(tinyCfg("nlpkkt240", "twitter7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the tiny smoke preset the scaled spawn costs are minute, so the
+	// effect is weak; require skip to be at worst neutral here. The small
+	// preset shows the paper's 1.1-2.5x (see EXPERIMENTS.md).
+	if g := r.Metrics["geomean_speedup"]; g < 0.97 {
+		t.Errorf("skipping empty tasks should not hurt: geomean %v", g)
+	}
+}
+
+func TestFig7DependencyBeatsReduce(t *testing.T) {
+	r, err := runFig7(tinyCfg("inline1", "nlpkkt160"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["geomean_speedup"] < 1.0 {
+		t.Errorf("dependency-based should beat reduce-based: geomean %v", r.Metrics["geomean_speedup"])
+	}
+}
+
+func TestFig9AMTBeatsBSP(t *testing.T) {
+	r, err := runFig9(tinyCfg("nlpkkt160", "twitter7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's central claim: DeepSparse and HPX beat libcsr on EPYC for
+	// large/skewed matrices.
+	for _, v := range []string{"deepsparse", "hpx"} {
+		sp := r.Metrics["speedup/epyc/twitter7/"+v]
+		if sp <= 1.0 {
+			t.Errorf("%s speedup on epyc/twitter7 = %v, want > 1", v, sp)
+		}
+	}
+}
+
+func TestFig11AMTCutsMisses(t *testing.T) {
+	r, err := runFig11(tinyCfg("inline1", "nlpkkt160"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AMT versions should reduce L1 misses vs libcsr for LOBPCG (data-reuse
+	// rich, and the BSP baseline pays library-kernel packing traffic); at
+	// the larger presets L2 reductions appear as well.
+	best := 1.0
+	for k, v := range r.Metrics {
+		if strings.HasPrefix(k, "l1/") && (strings.HasSuffix(k, "deepsparse") || strings.HasSuffix(k, "hpx")) {
+			if v < best {
+				best = v
+			}
+		}
+	}
+	if best >= 0.9 {
+		t.Errorf("no AMT L1 miss reduction found (best normalized = %v)", best)
+	}
+}
+
+func TestFig12Runs(t *testing.T) {
+	r, err := runFig12(tinyCfg("nlpkkt160"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 { // one matrix x two architectures
+		t.Fatalf("%d rows, want 2", len(r.Rows))
+	}
+}
+
+func TestFig10FlowGraph(t *testing.T) {
+	cfg := tinyCfg("nlpkkt240")
+	r, err := runFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d versions, want 3", len(r.Rows))
+	}
+	// AMT overlap should exceed the barrier-separated BSP baseline.
+	if r.Metrics["overlap/deepsparse"] <= r.Metrics["overlap/libcsr"] {
+		t.Errorf("deepsparse overlap %v not above libcsr %v",
+			r.Metrics["overlap/deepsparse"], r.Metrics["overlap/libcsr"])
+	}
+}
+
+func TestFig14ProfilesAndRegentPreference(t *testing.T) {
+	cfg := tinyCfg("inline1", "nlpkkt160", "twitter7")
+	r, err := runFig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 arch x 3 runtimes x 6 bins rows.
+	if len(r.Rows) != 36 {
+		t.Fatalf("%d rows, want 36", len(r.Rows))
+	}
+	// Regent must prefer a coarser bin than DeepSparse on both archs
+	// (paper: Regent 16-31 vs DeepSparse 32-127).
+	for _, arch := range []string{"broadwell", "epyc"} {
+		reg := r.Metrics["bestbin/"+arch+"/regent"]
+		ds := r.Metrics["bestbin/"+arch+"/deepsparse"]
+		if reg > ds {
+			t.Errorf("%s: regent best bin %v coarser-than-deepsparse %v violated", arch, reg, ds)
+		}
+	}
+}
+
+func TestHeuristicOptimumInRange(t *testing.T) {
+	r, err := runHeuristic(tinyCfg("nlpkkt160"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"deepsparse", "regent"} {
+		best := r.Metrics["best/"+v]
+		if best < 8 || best > 511 {
+			t.Errorf("%s optimal block count %v outside [8, 511]", v, best)
+		}
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	cfg := tinyCfg("nlpkkt160", "twitter7")
+	r, err := runHeadline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["lanczos_max"] <= 0 || r.Metrics["lobpcg_max"] <= 0 {
+		t.Errorf("headline metrics missing: %+v", r.Metrics)
+	}
+}
+
+func TestConfigSuiteFilters(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.MaxMatrices = 4
+	specs, err := cfg.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("MaxMatrices ignored: %d", len(specs))
+	}
+	cfg2 := tinyCfg("nosuch")
+	if _, err := cfg2.suite(); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+}
+
+func TestReportWriteAlignment(t *testing.T) {
+	r := newReport("x", "test", "A", "LongHeader")
+	r.addRow("1", "2")
+	r.addRow("333", "4")
+	r.note("a note")
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== x: test ==") || !strings.Contains(out, "# a note") {
+		t.Errorf("bad render:\n%s", out)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	r, err := runAblation(tinyCfg("nlpkkt160", "twitter7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regent dynamic tracing: the paper found no significant improvement —
+	// replay only cuts analysis cost, which the coarse Regent block counts
+	// already keep off the critical path.
+	if g := r.Metrics["geomean/regent-tracing"]; g < 0.95 || g > 1.3 {
+		t.Errorf("regent tracing geomean %v, want ~1.0 (no significant effect)", g)
+	}
+	// Depth-first (LIFO) local queues are a DeepSparse design premise; the
+	// ablation must not show them losing.
+	if g := r.Metrics["geomean/ds-depthfirst"]; g < 0.97 {
+		t.Errorf("depth-first bias geomean %v, should not lose to FIFO", g)
+	}
+}
+
+func TestFutureWorkHPXDistWins(t *testing.T) {
+	r, err := runFutureWork(tinyCfg("nlpkkt240"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The asynchronous model must clearly win where communication dominates:
+	// LOBPCG's many kernels mean many MPI barriers per iteration. (At tiny
+	// scale, latency-bound Lanczos can cross over at low node counts —
+	// fine-grained messaging has real costs — so only its 8-node point is
+	// asserted.)
+	for _, nodes := range []int{2, 4, 8} {
+		if ratio := r.Metrics[fmtRatioKey(LOBPCG, nodes)]; ratio > 1.0 {
+			t.Errorf("lobpcg at %d nodes: hpx/mpi ratio %v > 1", nodes, ratio)
+		}
+	}
+	if ratio := r.Metrics[fmtRatioKey(Lanczos, 8)]; ratio > 1.0 {
+		t.Errorf("lanczos at 8 nodes: hpx/mpi ratio %v > 1", ratio)
+	}
+}
+
+func fmtRatioKey(k SolverKind, nodes int) string {
+	if k == Lanczos {
+		return "ratio/lanczos/" + itoa(nodes)
+	}
+	return "ratio/lobpcg/" + itoa(nodes)
+}
+
+func itoa(n int) string {
+	switch n {
+	case 1:
+		return "1"
+	case 2:
+		return "2"
+	case 4:
+		return "4"
+	case 8:
+		return "8"
+	}
+	return "?"
+}

@@ -1,0 +1,644 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/matgen"
+	"sparsetask/internal/perfprofile"
+	"sparsetask/internal/program"
+	"sparsetask/internal/sparse"
+	"sparsetask/internal/trace"
+)
+
+// matrixCache builds each suite matrix once per experiment run.
+type matrixCache struct {
+	cfg  *Config
+	mats map[string]*sparse.COO
+}
+
+func newMatrixCache(cfg *Config) *matrixCache {
+	return &matrixCache{cfg: cfg, mats: map[string]*sparse.COO{}}
+}
+
+func (mc *matrixCache) get(spec matgen.Spec) *sparse.COO {
+	if m, ok := mc.mats[spec.Name]; ok {
+		return m
+	}
+	m := spec.Build(mc.cfg.Preset, mc.cfg.Seed)
+	mc.mats[spec.Name] = m
+	return m
+}
+
+// ---------------------------------------------------------------- Table 1
+
+func runTable1(cfg *Config) (*Report, error) {
+	r := newReport("table1", "Matrices used in the evaluation (scaled synthetic analogs)",
+		"Matrix", "Class", "PaperRows", "PaperNNZ", "Rows", "NNZ", "nnz/row", "Imbalance")
+	specs, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	mc := newMatrixCache(cfg)
+	for _, s := range specs {
+		m := mc.get(s)
+		st := sparse.ComputeStats(m.ToCSR())
+		name := s.Name
+		if s.MadeSymmetric {
+			name += "*" // bold in the paper: symmetrized
+		}
+		if s.Binary {
+			name += "†" // italic in the paper: value-filled binary pattern
+		}
+		r.addRow(name, s.Class,
+			fmt.Sprintf("%d", s.PaperRows), fmt.Sprintf("%d", s.PaperNNZ),
+			fmt.Sprintf("%d", st.Rows), fmt.Sprintf("%d", st.NNZ),
+			fmt.Sprintf("%.1f", st.AvgRowNNZ), fmt.Sprintf("%.1f", st.Imbalance))
+		r.Metrics["rows/"+s.Name] = float64(st.Rows)
+		r.Metrics["nnz/"+s.Name] = float64(st.NNZ)
+	}
+	r.note("* symmetrized as L+Lᵀ−D (bold in Table 1); † binary pattern filled with random values (italic)")
+	r.note("preset %s: rows ≈ paper/%d", cfg.Preset.Name, cfg.Preset.Div)
+	return r, nil
+}
+
+// ---------------------------------------------------------------- Fig. 3
+
+func runFig3(cfg *Config) (*Report, error) {
+	// Listing 1 over a dense 3x3-tile matrix: the exact Fig. 3 DAG.
+	m, block, n := 9, 3, 2
+	coo := sparse.NewCOO(m, m, m*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			coo.Append(int32(i), int32(j), 1)
+		}
+	}
+	p := program.New(m, block)
+	A := p.Sparse("A")
+	X := p.Vec("X", n)
+	Y := p.Vec("Y", n)
+	Z := p.Small("Z", n, n)
+	Q := p.Vec("Q", n)
+	P := p.Small("P", n, n)
+	p.SpMM(Y, A, X)
+	p.Gemm(Q, 1, Y, Z, 0)
+	p.GemmT(P, Y, Q)
+	g, err := graph.Build(p, map[program.OperandID]*sparse.CSB{A: coo.ToCSB(block)}, graph.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	var dot strings.Builder
+	if err := g.WriteDOT(&dot, "fig3"); err != nil {
+		return nil, err
+	}
+	st := g.ComputeStats()
+	r := newReport("fig3", "Task graph for the Listing 1 pseudocode", "Metric", "Value")
+	r.addRow("tasks", fmt.Sprintf("%d", st.Tasks))
+	r.addRow("edges", fmt.Sprintf("%d", st.Edges))
+	r.addRow("critical path (tasks)", fmt.Sprintf("%d", st.CriticalPath))
+	r.addRow("max width", fmt.Sprintf("%d", st.MaxWidth))
+	r.Metrics["tasks"] = float64(st.Tasks)
+	r.Metrics["critical_path"] = float64(st.CriticalPath)
+	for _, line := range strings.Split(strings.TrimRight(dot.String(), "\n"), "\n") {
+		r.note("%s", line)
+	}
+	return r, nil
+}
+
+// ---------------------------------------------------------------- Fig. 5
+
+func runFig5(cfg *Config) (*Report, error) {
+	r := newReport("fig5", "DeepSparse Lanczos on EPYC: first-touch placement",
+		"Matrix", "serial-init (ms)", "first-touch (ms)", "Speedup")
+	mach, err := scaledMachine("epyc", cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Matrices) == 0 && len(specs) > 8 {
+		specs = specs[:8] // the effect is strongest on small/mid matrices
+	}
+	mc := newMatrixCache(cfg)
+	iters := cfg.iters(5)
+	v, _ := VersionByName("deepsparse")
+	var ratios []float64
+	for _, s := range specs {
+		coo := mc.get(s)
+		g, err := buildGraph(coo, Lanczos, v.BlockCount(mach, coo.Rows), graph.DefaultOptions(), false)
+		if err != nil {
+			return nil, err
+		}
+		tSer, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), g, iters, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		tFT, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), g, iters, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		sp := tSer / tFT
+		ratios = append(ratios, sp)
+		r.addRow(s.Name, fmtMs(tSer), fmtMs(tFT), fmtX(sp))
+		r.Metrics["speedup/"+s.Name] = sp
+	}
+	r.Metrics["max_speedup"] = maxOf(ratios)
+	r.Metrics["geomean_speedup"] = geoMean(ratios)
+	r.note("paper: up to 2.5x on small/mid matrices; shape to hold: first-touch >= 1x everywhere, largest gains on matrices that fit memory controllers unevenly")
+	return r, nil
+}
+
+// ---------------------------------------------------------------- Fig. 6
+
+func runFig6(cfg *Config) (*Report, error) {
+	r := newReport("fig6", "HPX Lanczos on Broadwell: skipping empty tasks",
+		"Matrix", "all-tasks (ms)", "skip-empty (ms)", "Speedup", "EmptyFrac")
+	mach, err := scaledMachine("broadwell", cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	mc := newMatrixCache(cfg)
+	iters := cfg.iters(5)
+	v, _ := VersionByName("hpx")
+	var ratios []float64
+	for _, s := range specs {
+		coo := mc.get(s)
+		bc := v.BlockCount(mach, coo.Rows)
+		gSkip, err := buildGraph(coo, Lanczos, bc, graph.Options{SkipEmpty: true}, false)
+		if err != nil {
+			return nil, err
+		}
+		gAll, err := buildGraph(coo, Lanczos, bc, graph.Options{SkipEmpty: false}, false)
+		if err != nil {
+			return nil, err
+		}
+		tAll, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), gAll, iters, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		tSkip, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), gSkip, iters, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		sp := tAll / tSkip
+		ratios = append(ratios, sp)
+		emptyFrac := 1 - float64(len(gSkip.Tasks))/float64(len(gAll.Tasks))
+		r.addRow(s.Name, fmtMs(tAll), fmtMs(tSkip), fmtX(sp), fmt.Sprintf("%.2f", emptyFrac))
+		r.Metrics["speedup/"+s.Name] = sp
+	}
+	r.Metrics["geomean_speedup"] = geoMean(ratios)
+	r.note("paper: ~30%% average speedup, weaker where the optimal block size leaves few empty tiles")
+	return r, nil
+}
+
+// ---------------------------------------------------------------- Fig. 7
+
+func runFig7(cfg *Config) (*Report, error) {
+	r := newReport("fig7", "Regent LOBPCG on Broadwell: SpMM output handling",
+		"Matrix", "reduce-based (ms)", "dependency-based (ms)", "Speedup")
+	mach, err := scaledMachine("broadwell", cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	mc := newMatrixCache(cfg)
+	iters := cfg.iters(3)
+	v, _ := VersionByName("regent")
+	var ratios []float64
+	for _, s := range specs {
+		coo := mc.get(s)
+		bc := v.BlockCount(mach, coo.Rows)
+		gDep, err := buildGraph(coo, LOBPCG, bc, graph.DefaultOptions(), false)
+		if err != nil {
+			return nil, err
+		}
+		gRed, err := buildGraph(coo, LOBPCG, bc, graph.DefaultOptions(), true)
+		if err != nil {
+			return nil, err
+		}
+		tDep, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), gDep, iters, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		tRed, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), gRed, iters, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		sp := tRed / tDep
+		ratios = append(ratios, sp)
+		r.addRow(s.Name, fmtMs(tRed), fmtMs(tDep), fmtX(sp))
+		r.Metrics["speedup/"+s.Name] = sp
+	}
+	r.Metrics["geomean_speedup"] = geoMean(ratios)
+	r.note("paper: dependency-based wins; reduce-based collapses on large matrices (per-column buffers thrash memory)")
+	return r, nil
+}
+
+// ------------------------------------------------------- cache experiments
+
+// cacheRow measures one solver on one machine for all versions and returns
+// per-version miss counts.
+type versionCounters struct {
+	name                   string
+	timeNs                 float64
+	l1Miss, l2Miss, l3Miss float64
+}
+
+func measureAllVersions(cfg *Config, machName string, kind SolverKind, coo *sparse.COO, iters int) ([]versionCounters, error) {
+	mach, err := scaledMachine(machName, cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	var out []versionCounters
+	for _, v := range Versions() {
+		g, err := buildGraph(coo, kind, v.BlockCount(mach, coo.Rows), graph.DefaultOptions(), false)
+		if err != nil {
+			return nil, err
+		}
+		t, ctr, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), g, iters, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, versionCounters{
+			name: v.Name, timeNs: t,
+			l1Miss: float64(ctr.L1Miss), l2Miss: float64(ctr.L2Miss), l3Miss: float64(ctr.L3Miss),
+		})
+	}
+	return out, nil
+}
+
+func runFig8(cfg *Config) (*Report, error) {
+	r := newReport("fig8", "Lanczos on EPYC: L1/L2 misses normalized to libcsr",
+		"Matrix", "Version", "L1/libcsr", "L2/libcsr")
+	specs, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	mc := newMatrixCache(cfg)
+	iters := cfg.iters(5)
+	for _, s := range specs {
+		vs, err := measureAllVersions(cfg, "epyc", Lanczos, mc.get(s), iters)
+		if err != nil {
+			return nil, err
+		}
+		base := vs[0] // libcsr
+		for _, v := range vs[1:] {
+			n1 := v.l1Miss / base.l1Miss
+			n2 := v.l2Miss / base.l2Miss
+			r.addRow(s.Name, v.name, fmt.Sprintf("%.2f", n1), fmt.Sprintf("%.2f", n2))
+			r.Metrics[fmt.Sprintf("l1/%s/%s", s.Name, v.name)] = n1
+			r.Metrics[fmt.Sprintf("l2/%s/%s", s.Name, v.name)] = n2
+		}
+	}
+	r.note("paper: little consistent L1 reduction for Lanczos; L2 gains mostly attributable to CSB storage (libcsb shows them too)")
+	return r, nil
+}
+
+func speedupExperiment(cfg *Config, id, title string, kind SolverKind, defIters int) (*Report, error) {
+	r := newReport(id, title, "Arch", "Matrix", "libcsr(ms)", "libcsb", "deepsparse", "hpx", "regent")
+	specs, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	mc := newMatrixCache(cfg)
+	iters := cfg.iters(defIters)
+	type best struct{ ds, hpx, regent []float64 }
+	perArch := map[string]*best{}
+	for _, archName := range []string{"broadwell", "epyc"} {
+		perArch[archName] = &best{}
+		for _, s := range specs {
+			vs, err := measureAllVersions(cfg, archName, kind, mc.get(s), iters)
+			if err != nil {
+				return nil, err
+			}
+			base := vs[0].timeNs
+			row := []string{archName, s.Name, fmtMs(base)}
+			for _, v := range vs[1:] {
+				sp := base / v.timeNs
+				row = append(row, fmtX(sp))
+				r.Metrics[fmt.Sprintf("speedup/%s/%s/%s", archName, s.Name, v.name)] = sp
+				b := perArch[archName]
+				switch v.name {
+				case "deepsparse":
+					b.ds = append(b.ds, sp)
+				case "hpx":
+					b.hpx = append(b.hpx, sp)
+				case "regent":
+					b.regent = append(b.regent, sp)
+				}
+			}
+			r.addRow(row...)
+		}
+	}
+	for _, archName := range []string{"broadwell", "epyc"} {
+		b := perArch[archName]
+		r.Metrics["max/"+archName+"/deepsparse"] = maxOf(b.ds)
+		r.Metrics["max/"+archName+"/hpx"] = maxOf(b.hpx)
+		r.Metrics["max/"+archName+"/regent"] = maxOf(b.regent)
+		r.note("%s geomean: deepsparse %.2fx, hpx %.2fx, regent %.2fx; max: %.1fx / %.1fx / %.1fx",
+			archName, geoMean(b.ds), geoMean(b.hpx), geoMean(b.regent),
+			maxOf(b.ds), maxOf(b.hpx), maxOf(b.regent))
+	}
+	return r, nil
+}
+
+func runFig9(cfg *Config) (*Report, error) {
+	r, err := speedupExperiment(cfg, "fig9", "Lanczos speedup over libcsr", Lanczos, 5)
+	if err != nil {
+		return nil, err
+	}
+	r.note("paper shape: AMT gains modest on Broadwell (up to 2.3-4.3x), larger on EPYC (up to 6.5-9.9x); HPX > DeepSparse > Regent on average")
+	return r, nil
+}
+
+func runFig11(cfg *Config) (*Report, error) {
+	r := newReport("fig11", "LOBPCG on Broadwell: L1/L2/L3 misses normalized to libcsr",
+		"Matrix", "Version", "L1/libcsr", "L2/libcsr", "L3/libcsr")
+	specs, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	mc := newMatrixCache(cfg)
+	iters := cfg.iters(3)
+	var bestL1 float64 = 1
+	for _, s := range specs {
+		vs, err := measureAllVersions(cfg, "broadwell", LOBPCG, mc.get(s), iters)
+		if err != nil {
+			return nil, err
+		}
+		base := vs[0]
+		for _, v := range vs[1:] {
+			n1 := v.l1Miss / base.l1Miss
+			n2 := v.l2Miss / base.l2Miss
+			n3 := v.l3Miss / base.l3Miss
+			r.addRow(s.Name, v.name, fmt.Sprintf("%.2f", n1), fmt.Sprintf("%.2f", n2), fmt.Sprintf("%.2f", n3))
+			r.Metrics[fmt.Sprintf("l1/%s/%s", s.Name, v.name)] = n1
+			r.Metrics[fmt.Sprintf("l2/%s/%s", s.Name, v.name)] = n2
+			r.Metrics[fmt.Sprintf("l3/%s/%s", s.Name, v.name)] = n3
+			if v.name != "libcsb" && n1 < bestL1 {
+				bestL1 = n1
+			}
+		}
+	}
+	r.Metrics["best_l1_reduction"] = 1 / bestL1
+	r.note("paper shape: AMT versions cut misses at every level (3-13.7x L1, 3.7-13.1x L2, 1.4-6.2x L3); libcsb stays near libcsr")
+	return r, nil
+}
+
+func runFig12(cfg *Config) (*Report, error) {
+	r, err := speedupExperiment(cfg, "fig12", "LOBPCG speedup over libcsr", LOBPCG, 3)
+	if err != nil {
+		return nil, err
+	}
+	r.note("paper shape: 1.8-3.0x (DeepSparse), 1.5-4.4x (HPX), 0.8-1.9x (Regent) on Broadwell; up to 5.5x/7.5x/2.3x on EPYC")
+	return r, nil
+}
+
+// ------------------------------------------------------ flow-graph figures
+
+func flowGraphExperiment(cfg *Config, id, title string, kind SolverKind, iters int) (*Report, error) {
+	r := newReport(id, title, "Version", "Makespan(ms)", "KernelOverlap", "Kernels")
+	mach, err := scaledMachine("broadwell", cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	name := "nlpkkt240"
+	if len(cfg.Matrices) > 0 {
+		name = cfg.Matrices[0]
+	}
+	spec, err := matgen.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	coo := spec.Build(cfg.Preset, cfg.Seed)
+	for _, vname := range []string{"libcsr", "deepsparse", "hpx"} {
+		v, err := VersionByName(vname)
+		if err != nil {
+			return nil, err
+		}
+		g, err := buildGraph(coo, kind, v.BlockCount(mach, coo.Rows), graph.DefaultOptions(), false)
+		if err != nil {
+			return nil, err
+		}
+		rec := trace.NewRecorder(mach.Cores)
+		t, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), g, cfg.iters(iters), true, rec)
+		if err != nil {
+			return nil, err
+		}
+		ov := rec.PipelineOverlap()
+		r.addRow(vname, fmtMs(t*float64(cfg.iters(iters))), fmt.Sprintf("%.2f", ov), fmt.Sprintf("%d", len(rec.KernelSpans())))
+		r.Metrics["overlap/"+vname] = ov
+		r.note("---- %s flow graph (%s, %s) ----", vname, name, mach.Name)
+		var b strings.Builder
+		if err := rec.RenderASCII(&b, 96); err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+			r.note("%s", line)
+		}
+	}
+	r.note("paper shape: BSP shows barrier-separated kernel bands; AMT versions pipeline kernels (overlap > BSP), HPX more shuffled than DeepSparse")
+	return r, nil
+}
+
+func runFig10(cfg *Config) (*Report, error) {
+	return flowGraphExperiment(cfg, "fig10", "Lanczos execution flow graph", Lanczos, 3)
+}
+
+func runFig13(cfg *Config) (*Report, error) {
+	return flowGraphExperiment(cfg, "fig13", "LOBPCG execution flow graph", LOBPCG, 2)
+}
+
+// ---------------------------------------------------------------- Fig. 14
+
+// blockBins are the six block-count bins of §5.4, represented by their
+// geometric midpoints.
+var blockBins = []struct {
+	Label string
+	Count int
+}{
+	{"8-15", 11},
+	{"16-31", 23},
+	{"32-63", 45},
+	{"64-127", 90},
+	{"128-255", 181},
+	{"256-511", 362},
+}
+
+func runFig14(cfg *Config) (*Report, error) {
+	r := newReport("fig14", "Performance profiles of block-count bins (LOBPCG)",
+		"Arch", "Runtime", "Bin", "ρ(1.0)", "ρ(1.15)", "ρ(1.5)", "ρ(2.0)", "AUC")
+	specs, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	mc := newMatrixCache(cfg)
+	iters := cfg.iters(2)
+	amts := []string{"deepsparse", "hpx", "regent"}
+	for _, archName := range []string{"broadwell", "epyc"} {
+		mach, err := scaledMachine(archName, cfg.Preset)
+		if err != nil {
+			return nil, err
+		}
+		for _, vname := range amts {
+			v, err := VersionByName(vname)
+			if err != nil {
+				return nil, err
+			}
+			var names []string
+			for _, s := range specs {
+				names = append(names, s.Name)
+			}
+			var labels []string
+			for _, b := range blockBins {
+				labels = append(labels, b.Label)
+			}
+			tab := perfprofile.NewTable(labels, names)
+			for bi, bin := range blockBins {
+				for ki, s := range specs {
+					coo := mc.get(s)
+					g, err := buildGraph(coo, LOBPCG, bin.Count, graph.DefaultOptions(), false)
+					if err != nil {
+						return nil, err
+					}
+					t, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), g, iters, true, nil)
+					if err != nil {
+						return nil, err
+					}
+					tab.Set(bi, ki, t)
+				}
+			}
+			profiles, err := perfprofile.Compute(tab)
+			if err != nil {
+				return nil, err
+			}
+			bestAUC, bestBin := -1.0, ""
+			for _, p := range profiles {
+				auc := p.AUC(2.0)
+				r.addRow(archName, vname, p.Config,
+					fmt.Sprintf("%.2f", p.Rho(1.0)), fmt.Sprintf("%.2f", p.Rho(1.15)),
+					fmt.Sprintf("%.2f", p.Rho(1.5)), fmt.Sprintf("%.2f", p.Rho(2.0)),
+					fmt.Sprintf("%.3f", auc))
+				r.Metrics[fmt.Sprintf("auc/%s/%s/%s", archName, vname, p.Config)] = auc
+				if auc > bestAUC {
+					bestAUC, bestBin = auc, p.Config
+				}
+			}
+			r.Metrics[fmt.Sprintf("bestbin/%s/%s", archName, vname)] = float64(indexOfBin(bestBin))
+			r.note("%s/%s best bin: %s", archName, vname, bestBin)
+		}
+	}
+	r.note("paper shape: DeepSparse best at 32-63 (Broadwell) / 64-127 (EPYC); HPX at 64-127; Regent prefers coarse 16-31 and collapses beyond 64")
+	return r, nil
+}
+
+func indexOfBin(label string) int {
+	for i, b := range blockBins {
+		if b.Label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------- §5.4 sweep
+
+func runHeuristic(cfg *Config) (*Report, error) {
+	r := newReport("heuristic", "Block-count sweep: scheduling overhead vs parallelism",
+		"Runtime", "BlockCount", "Tasks/iter", "Time(ms)")
+	mach, err := scaledMachine("broadwell", cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	name := "nlpkkt160"
+	if len(cfg.Matrices) > 0 {
+		name = cfg.Matrices[0]
+	}
+	spec, err := matgen.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	coo := spec.Build(cfg.Preset, cfg.Seed)
+	iters := cfg.iters(2)
+	counts := []int{4, 8, 16, 32, 64, 128, 256, 512}
+	for _, vname := range []string{"deepsparse", "regent"} {
+		v, err := VersionByName(vname)
+		if err != nil {
+			return nil, err
+		}
+		bestT, bestC := -1.0, 0
+		for _, c := range counts {
+			if c > coo.Rows {
+				continue
+			}
+			g, err := buildGraph(coo, LOBPCG, c, graph.DefaultOptions(), false)
+			if err != nil {
+				return nil, err
+			}
+			t, _, err := simMeasure(mach, v.Policy(mach, cfg.Preset.OverheadScale()), g, iters, true, nil)
+			if err != nil {
+				return nil, err
+			}
+			r.addRow(vname, fmt.Sprintf("%d", c), fmt.Sprintf("%d", len(g.Tasks)), fmtMs(t))
+			r.Metrics[fmt.Sprintf("time/%s/%d", vname, c)] = t
+			if bestT < 0 || t < bestT {
+				bestT, bestC = t, c
+			}
+		}
+		r.Metrics["best/"+vname] = float64(bestC)
+		r.note("%s optimal block count: %d (paper: optimum always lands in [8, 511])", vname, bestC)
+	}
+	return r, nil
+}
+
+// ---------------------------------------------------------------- headline
+
+func runHeadline(cfg *Config) (*Report, error) {
+	sub := *cfg
+	if sub.MaxMatrices == 0 && len(sub.Matrices) == 0 {
+		sub.MaxMatrices = 10
+	}
+	fig9, err := runFig9(&sub)
+	if err != nil {
+		return nil, err
+	}
+	fig12, err := runFig12(&sub)
+	if err != nil {
+		return nil, err
+	}
+	fig11, err := runFig11(&sub)
+	if err != nil {
+		return nil, err
+	}
+	r := newReport("headline", "Headline results (paper abstract analog)", "Metric", "Paper", "Measured")
+	lz := maxOf([]float64{fig9.Metrics["max/epyc/deepsparse"], fig9.Metrics["max/epyc/hpx"], fig9.Metrics["max/broadwell/hpx"]})
+	lob := maxOf([]float64{fig12.Metrics["max/epyc/deepsparse"], fig12.Metrics["max/epyc/hpx"], fig12.Metrics["max/broadwell/hpx"]})
+	r.addRow("max Lanczos speedup over libcsr", "9.9x", fmtX(lz))
+	r.addRow("max LOBPCG speedup over libcsr", "7.5x", fmtX(lob))
+	r.addRow("max LOBPCG L1-miss reduction", "13.7x", fmtX(fig11.Metrics["best_l1_reduction"]))
+	r.Metrics["lanczos_max"] = lz
+	r.Metrics["lobpcg_max"] = lob
+	r.Metrics["l1_reduction_max"] = fig11.Metrics["best_l1_reduction"]
+	r.note("absolute factors depend on the scaled suite; the claim reproduced is the ordering (AMT >> BSP, EPYC > Broadwell) and magnitudes within a small factor")
+	return r, nil
+}
+
+func maxOf(vs []float64) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

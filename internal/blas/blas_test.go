@@ -1,0 +1,365 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func naiveGemm(alpha float64, a []float64, m, k int, b []float64, n int, beta float64, c []float64) {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			out[i*n+j] = alpha*s + beta*c[i*n+j]
+		}
+	}
+	copy(c, out)
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		c1 := randSlice(rng, m*n)
+		c2 := append([]float64(nil), c1...)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		Gemm(alpha, a, m, k, b, n, beta, c1)
+		naiveGemm(alpha, a, m, k, b, n, beta, c2)
+		for i := range c1 {
+			if !almostEq(c1[i], c2[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGemmTNMatchesTransposedGemm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k, m, n := 1+rng.Intn(15), 1+rng.Intn(10), 1+rng.Intn(10)
+		a := randSlice(rng, k*m) // A is k×m
+		b := randSlice(rng, k*n)
+		c1 := randSlice(rng, m*n)
+		c2 := append([]float64(nil), c1...)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		GemmTN(alpha, a, k, m, b, n, beta, c1)
+		// Build Aᵀ explicitly and use plain Gemm.
+		at := make([]float64, m*k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				at[j*k+i] = a[i*m+j]
+			}
+		}
+		Gemm(alpha, at, m, k, b, n, beta, c2)
+		for i := range c1 {
+			if !almostEq(c1[i], c2[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func TestGemmBetaZeroIgnoresGarbage(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	c := []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}
+	Gemm(1, a, 2, 1, b, 2, 0, c)
+	want := []float64{3, 4, 6, 8}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestLevel1Ops(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Errorf("Axpy result %v", y)
+	}
+	Scal(0.5, y)
+	if y[0] != 3 || y[1] != 4.5 || y[2] != 6 {
+		t.Errorf("Scal result %v", y)
+	}
+	if got := Nrm2([]float64{3, 4}); !almostEq(got, 5, 1e-15) {
+		t.Errorf("Nrm2 = %v, want 5", got)
+	}
+	if got := Nrm2(nil); got != 0 {
+		t.Errorf("Nrm2(nil) = %v, want 0", got)
+	}
+}
+
+func TestNrm2Overflow(t *testing.T) {
+	big := math.MaxFloat64 / 4
+	got := Nrm2([]float64{big, big})
+	want := big * math.Sqrt2
+	if math.IsInf(got, 0) || !almostEq(got, want, 1e-14) {
+		t.Errorf("Nrm2 overflow-safe = %v, want %v", got, want)
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := []float64{
+		3, 0, 0,
+		0, 1, 0,
+		0, 0, 2,
+	}
+	ev, v, err := SymEig(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEq(ev[i], want[i], 1e-12) {
+			t.Errorf("eig %d = %v, want %v", i, ev[i], want[i])
+		}
+	}
+	// Eigenvector for eigenvalue 1 must be ±e1.
+	if math.Abs(math.Abs(v[1*3+0])-1) > 1e-12 {
+		t.Errorf("eigvec for λ=1: %v", []float64{v[0], v[3], v[6]})
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a[i*n+j], a[j*n+i] = v, v
+			}
+		}
+		ev, v, err := SymEig(a, n)
+		if err != nil {
+			return false
+		}
+		// Check A·v_j = λ_j·v_j and orthonormality of V.
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				var av float64
+				for k := 0; k < n; k++ {
+					av += a[i*n+k] * v[k*n+j]
+				}
+				if !almostEq(av, ev[j]*v[i*n+j], 1e-8) {
+					return false
+				}
+			}
+		}
+		for j1 := 0; j1 < n; j1++ {
+			for j2 := 0; j2 < n; j2++ {
+				var d float64
+				for i := 0; i < n; i++ {
+					d += v[i*n+j1] * v[i*n+j2]
+				}
+				want := 0.0
+				if j1 == j2 {
+					want = 1
+				}
+				if math.Abs(d-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		// Ascending order.
+		for j := 1; j < n; j++ {
+			if ev[j] < ev[j-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymEigRejectsNonSymmetric(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if _, _, err := SymEig(a, 2); err == nil {
+		t.Fatal("expected error for non-symmetric input")
+	}
+}
+
+func TestSymTriEigKnownValues(t *testing.T) {
+	// Tridiagonal with d=2, e=-1 (the 1D Laplacian) has eigenvalues
+	// 2-2cos(kπ/(n+1)).
+	n := 6
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = -1
+	}
+	ev, _, err := SymTriEig(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if !almostEq(ev[k-1], want, 1e-10) {
+			t.Errorf("λ_%d = %v, want %v", k, ev[k-1], want)
+		}
+	}
+}
+
+func TestSymTriEigBadLengths(t *testing.T) {
+	if _, _, err := SymTriEig([]float64{1, 2}, []float64{}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		// Build SPD matrix A = MᵀM + n·I.
+		m := randSlice(rng, n*n)
+		a := make([]float64, n*n)
+		GemmTN(1, m, n, n, m, n, 0, a)
+		for i := 0; i < n; i++ {
+			a[i*n+i] += float64(n)
+		}
+		r, err := Cholesky(a, n)
+		if err != nil {
+			return false
+		}
+		// Check RᵀR = A.
+		back := make([]float64, n*n)
+		GemmTN(1, r, n, n, r, n, 0, back)
+		for i := range a {
+			if !almostEq(back[i], a[i], 1e-10) {
+				return false
+			}
+		}
+		// R upper triangular.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r[i*n+j] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 0, 0, -1}
+	if _, err := Cholesky(a, 2); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestOrthonormalizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(60) + 1
+		x := randSlice(rng, m*n)
+		if err := Orthonormalize(x, m, n); err != nil {
+			return false
+		}
+		g := make([]float64, n*n)
+		GemmTN(1, x, m, n, x, n, 0, g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(g[i*n+j]-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrthonormalizeNearDependentColumns(t *testing.T) {
+	// Two nearly parallel columns: CholQR on the Gram matrix fails, MGS
+	// fallback must still produce an orthonormal basis.
+	m, n := 50, 2
+	x := make([]float64, m*n)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < m; i++ {
+		v := rng.NormFloat64()
+		x[i*n] = v
+		x[i*n+1] = v * (1 + 1e-13)
+	}
+	err := Orthonormalize(x, m, n)
+	if err != nil {
+		// Rank deficiency beyond repair is acceptable as an error, but it
+		// must be reported, not silently wrong.
+		return
+	}
+	g := make([]float64, n*n)
+	GemmTN(1, x, m, n, x, n, 0, g)
+	if math.Abs(g[0]-1) > 1e-6 || math.Abs(g[3]-1) > 1e-6 || math.Abs(g[1]) > 1e-6 {
+		t.Fatalf("Gram after orthonormalize = %v", g)
+	}
+}
+
+func TestTrsmRightUpperInv(t *testing.T) {
+	// X·R·R⁻¹ must equal X.
+	rng := rand.New(rand.NewSource(5))
+	m, n := 7, 4
+	x0 := randSlice(rng, m*n)
+	// Random well-conditioned upper triangular R.
+	r := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		r[i*n+i] = 1 + rng.Float64()
+		for j := i + 1; j < n; j++ {
+			r[i*n+j] = rng.NormFloat64() * 0.3
+		}
+	}
+	// y = x0 · R
+	y := make([]float64, m*n)
+	Gemm(1, x0, m, n, r, n, 0, y)
+	TrsmRightUpperInv(y, m, n, r)
+	for i := range x0 {
+		if !almostEq(y[i], x0[i], 1e-10) {
+			t.Fatalf("element %d: %v vs %v", i, y[i], x0[i])
+		}
+	}
+}

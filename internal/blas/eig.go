@@ -1,0 +1,227 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEig computes all eigenvalues and eigenvectors of the symmetric n×n
+// row-major matrix a using the cyclic Jacobi method. It returns eigenvalues
+// in ascending order and the corresponding eigenvectors as the columns of v
+// (row-major n×n, so v[i*n+j] is component i of eigenvector j). The input is
+// not modified.
+//
+// Jacobi is quadratic-time per sweep but the matrices here are tiny — the
+// Rayleigh–Ritz subspaces in LOBPCG are at most 3·blockvectors wide and the
+// Lanczos tridiagonal is k×k — so robustness beats speed.
+func SymEig(a []float64, n int) (eigvals []float64, v []float64, err error) {
+	if len(a) < n*n {
+		return nil, nil, fmt.Errorf("blas: SymEig needs %d elements, have %d", n*n, len(a))
+	}
+	w := make([]float64, n*n)
+	copy(w, a[:n*n])
+	// Symmetry check with a tolerance scaled by magnitude.
+	var amax float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m := math.Abs(w[i*n+j]); m > amax {
+				amax = m
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(w[i*n+j]-w[j*n+i]) > 1e-8*(1+amax) {
+				return nil, nil, fmt.Errorf("blas: SymEig input not symmetric at (%d,%d): %g vs %g", i, j, w[i*n+j], w[j*n+i])
+			}
+			// Enforce exact symmetry so rotations stay consistent.
+			m := 0.5 * (w[i*n+j] + w[j*n+i])
+			w[i*n+j], w[j*n+i] = m, m
+		}
+	}
+
+	v = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w[i*n+j] * w[i*n+j]
+			}
+		}
+		if off <= 1e-30*(1+amax*amax) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w[p*n+q]
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app := w[p*n+p]
+				aqq := w[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation G(p,q,θ): W ← GᵀWG, V ← VG.
+				for k := 0; k < n; k++ {
+					wkp := w[k*n+p]
+					wkq := w[k*n+q]
+					w[k*n+p] = c*wkp - s*wkq
+					w[k*n+q] = s*wkp + c*wkq
+				}
+				for k := 0; k < n; k++ {
+					wpk := w[p*n+k]
+					wqk := w[q*n+k]
+					w[p*n+k] = c*wpk - s*wqk
+					w[q*n+k] = s*wpk + c*wqk
+				}
+				for k := 0; k < n; k++ {
+					vkp := v[k*n+p]
+					vkq := v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	eigvals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eigvals[i] = w[i*n+i]
+	}
+	// Sort eigenpairs ascending by eigenvalue (insertion sort: n is tiny).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && eigvals[j] < eigvals[j-1]; j-- {
+			eigvals[j], eigvals[j-1] = eigvals[j-1], eigvals[j]
+			for k := 0; k < n; k++ {
+				v[k*n+j], v[k*n+j-1] = v[k*n+j-1], v[k*n+j]
+			}
+		}
+	}
+	return eigvals, v, nil
+}
+
+// SymTriEig computes the eigenvalues (ascending) and eigenvectors of the
+// symmetric tridiagonal matrix with diagonal d (len k) and off-diagonal e
+// (len k-1), as produced by Lanczos. Implemented by densifying and calling
+// SymEig: the Lanczos k is small (tens).
+func SymTriEig(d, e []float64) (eigvals []float64, v []float64, err error) {
+	k := len(d)
+	if len(e) != k-1 && !(k == 0 && len(e) == 0) {
+		return nil, nil, fmt.Errorf("blas: SymTriEig needs len(e)=len(d)-1, got %d and %d", len(e), len(d))
+	}
+	a := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		a[i*k+i] = d[i]
+		if i+1 < k {
+			a[i*k+i+1] = e[i]
+			a[(i+1)*k+i] = e[i]
+		}
+	}
+	return SymEig(a, k)
+}
+
+// Cholesky computes the upper-triangular factor R of the symmetric
+// positive-definite n×n matrix a (row-major), so that a = RᵀR. Returns an
+// error if the matrix is not positive definite to working precision.
+func Cholesky(a []float64, n int) ([]float64, error) {
+	if len(a) < n*n {
+		return nil, fmt.Errorf("blas: Cholesky needs %d elements, have %d", n*n, len(a))
+	}
+	r := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s := a[i*n+j]
+			for k := 0; k < i; k++ {
+				s -= r[k*n+i] * r[k*n+j]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("blas: Cholesky pivot %d non-positive (%g): matrix not positive definite", i, s)
+				}
+				r[i*n+i] = math.Sqrt(s)
+			} else {
+				r[i*n+j] = s / r[i*n+i]
+			}
+		}
+	}
+	return r, nil
+}
+
+// TrsmRightUpperInv computes X ← X·R⁻¹ in place, where X is m×n row-major and
+// R is the n×n upper-triangular Cholesky factor. Used by CholQR
+// orthonormalization: Q = X·R⁻¹.
+func TrsmRightUpperInv(x []float64, m, n int, r []float64) {
+	if len(x) < m*n || len(r) < n*n {
+		panic(fmt.Sprintf("blas: TrsmRightUpperInv shape mismatch m=%d n=%d", m, n))
+	}
+	for i := 0; i < m; i++ {
+		xi := x[i*n : i*n+n]
+		// Forward substitution across columns: solve y·R = x row-wise.
+		for j := 0; j < n; j++ {
+			s := xi[j]
+			for k := 0; k < j; k++ {
+				s -= xi[k] * r[k*n+j]
+			}
+			xi[j] = s / r[j*n+j]
+		}
+	}
+}
+
+// Orthonormalize makes the n columns of the m×n row-major block x
+// orthonormal using Cholesky-QR with one reorthogonalization pass, falling
+// back to modified Gram–Schmidt when the Gram matrix is numerically rank
+// deficient. Returns an error only if the block is numerically rank deficient
+// beyond repair.
+func Orthonormalize(x []float64, m, n int) error {
+	for pass := 0; pass < 2; pass++ {
+		g := make([]float64, n*n)
+		GemmTN(1, x, m, n, x, n, 0, g)
+		r, err := Cholesky(g, n)
+		if err != nil {
+			return mgsOrthonormalize(x, m, n)
+		}
+		TrsmRightUpperInv(x, m, n, r)
+	}
+	return nil
+}
+
+// mgsOrthonormalize is the modified Gram–Schmidt fallback, column-wise on the
+// row-major block.
+func mgsOrthonormalize(x []float64, m, n int) error {
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			var d float64
+			for i := 0; i < m; i++ {
+				d += x[i*n+k] * x[i*n+j]
+			}
+			for i := 0; i < m; i++ {
+				x[i*n+j] -= d * x[i*n+k]
+			}
+		}
+		var nrm float64
+		for i := 0; i < m; i++ {
+			nrm += x[i*n+j] * x[i*n+j]
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm < 1e-14 {
+			return fmt.Errorf("blas: Orthonormalize: column %d numerically zero", j)
+		}
+		inv := 1 / nrm
+		for i := 0; i < m; i++ {
+			x[i*n+j] *= inv
+		}
+	}
+	return nil
+}

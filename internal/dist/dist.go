@@ -1,0 +1,390 @@
+// Package dist implements the paper's stated future work (§6): running the
+// task-dataflow sparse solvers on distributed memory and comparing an
+// HPX-style global-address-space execution against a hybrid MPI+OpenMP
+// baseline.
+//
+// The model extends the shared-memory simulator's philosophy one level up:
+// a cluster is N identical nodes; row partitions are distributed to nodes
+// contiguously (the same owner map first-touch uses within a node); the
+// per-iteration TDG is executed either
+//
+//   - MPIBSP: each kernel runs bulk-synchronously — every node computes the
+//     tasks whose output partitions it owns, then the cluster exchanges
+//     halos (for SpMM, the input chunks its non-local tiles need) and runs
+//     collectives for reductions, with a global barrier per kernel; or
+//   - HPXDist: tasks still execute on their output partition's owner, but
+//     asynchronously — a task may start as soon as its dependencies are done
+//     and its remote inputs have streamed in; communication overlaps
+//     computation and there are no global barriers (the GAS/dataflow
+//     execution HPX extends to clusters).
+//
+// Intra-node execution uses a work/span-based node model rather than the
+// full cache simulator: per-task cost = max(flops/rate, bytes/membw) on one
+// of the node's cores. That keeps the cluster model tractable while
+// preserving what the comparison is about — synchronization structure and
+// communication overlap.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"sparsetask/internal/graph"
+)
+
+// Cluster describes the machine: N nodes, per-node compute, and the network.
+type Cluster struct {
+	Nodes        int
+	CoresPerNode int
+	// FlopsPerNs is per-core compute rate; MemBWNsPerByte the per-core
+	// streaming cost of a byte.
+	FlopsPerNs     float64
+	MemBWNsPerByte float64
+	// Network: per-message latency and per-byte cost of a node's NIC.
+	NetLatencyNs float64
+	NetNsPerByte float64
+}
+
+// DefaultCluster models commodity HPC nodes on a 100 Gb/s fabric.
+func DefaultCluster(nodes int) Cluster {
+	return Cluster{
+		Nodes:          nodes,
+		CoresPerNode:   28,
+		FlopsPerNs:     8,
+		MemBWNsPerByte: 0.02, // ~50 GB/s effective per core-stream
+		NetLatencyNs:   1500,
+		NetNsPerByte:   0.08, // ~12.5 GB/s per NIC
+	}
+}
+
+// Validate checks the configuration.
+func (c Cluster) Validate() error {
+	if c.Nodes < 1 || c.CoresPerNode < 1 {
+		return fmt.Errorf("dist: invalid cluster shape %d nodes × %d cores", c.Nodes, c.CoresPerNode)
+	}
+	if c.FlopsPerNs <= 0 || c.MemBWNsPerByte < 0 || c.NetLatencyNs < 0 || c.NetNsPerByte < 0 {
+		return fmt.Errorf("dist: invalid cluster rates")
+	}
+	return nil
+}
+
+// Owner returns the node owning partition p of np.
+func (c Cluster) Owner(p, np int) int {
+	if p < 0 {
+		return 0 // reductions and small steps live on rank 0
+	}
+	n := int(int64(p) * int64(c.Nodes) / int64(np))
+	if n >= c.Nodes {
+		n = c.Nodes - 1
+	}
+	return n
+}
+
+// Result reports one simulated distributed execution of a TDG.
+type Result struct {
+	MakespanNs float64
+	// CommBytes is the total cross-node traffic.
+	CommBytes int64
+	// CommMsgs is the number of cross-node messages.
+	CommMsgs int64
+	// CompNs is the total task compute time across the cluster.
+	CompNs float64
+}
+
+// taskCost is the node-level cost model: max of flop time and memory
+// streaming time for the task's local footprint.
+func (c Cluster) taskCost(t *graph.Task) float64 {
+	var bytes int64
+	for _, r := range t.Reads {
+		bytes += r.Bytes
+	}
+	for _, w := range t.Writes {
+		bytes += w.Bytes
+	}
+	flopNs := float64(t.Flops) / c.FlopsPerNs
+	memNs := float64(bytes) * c.MemBWNsPerByte
+	if memNs > flopNs {
+		return memNs
+	}
+	return flopNs
+}
+
+// remoteInputBytes sums the bytes of task inputs whose producing partition
+// lives on another node. Partition identity is recovered from the graph
+// structure: a task's non-own-partition vec reads are the halo.
+func remoteInputBytes(g *graph.TDG, t *graph.Task, c Cluster) int64 {
+	if t.P < 0 {
+		// Reductions read all partials: all but rank 0's share is remote.
+		var bytes int64
+		for _, r := range t.Reads {
+			bytes += r.Bytes
+		}
+		return bytes * int64(c.Nodes-1) / int64(maxi(1, c.Nodes))
+	}
+	owner := c.Owner(int(t.P), g.Prog.NP)
+	var remote int64
+	if t.Q >= 0 && t.Q != t.P {
+		// SpMM tile: the X[bj] chunk is remote when bj's owner differs.
+		if c.Owner(int(t.Q), g.Prog.NP) != owner {
+			// The second read ref is the input chunk (first is the tile).
+			if len(t.Reads) >= 2 {
+				remote += t.Reads[1].Bytes
+			}
+		}
+	}
+	return remote
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mode selects the distributed execution model.
+type Mode int
+
+// The two contenders of the paper's future-work comparison.
+const (
+	MPIBSP Mode = iota
+	HPXDist
+)
+
+func (m Mode) String() string {
+	if m == MPIBSP {
+		return "mpi+omp"
+	}
+	return "hpx-dist"
+}
+
+// Run simulates one execution of g on the cluster under the given mode.
+func Run(g *graph.TDG, c Cluster, mode Mode) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	switch mode {
+	case MPIBSP:
+		return runMPIBSP(g, c), nil
+	case HPXDist:
+		return runHPXDist(g, c), nil
+	}
+	return Result{}, fmt.Errorf("dist: unknown mode %d", mode)
+}
+
+// runMPIBSP executes kernel by kernel: per kernel, each node runs its owned
+// tasks loop-parallel (work/span bound on CoresPerNode), preceded by a halo
+// exchange for the kernel's remote inputs and followed by a barrier;
+// reductions cost an allreduce.
+func runMPIBSP(g *graph.TDG, c Cluster) Result {
+	var res Result
+	nCalls := len(g.Prog.Calls)
+	type nodeAgg struct {
+		work  float64
+		span  float64
+		haloB int64
+		// haloFrom tracks distinct source nodes: MPI packs each neighbor's
+		// halo into one message per kernel.
+		haloFrom map[int]bool
+	}
+	for call := 0; call < nCalls; call++ {
+		agg := make([]nodeAgg, c.Nodes)
+		var reduceCost float64
+		for i := range g.Tasks {
+			t := &g.Tasks[i]
+			if int(t.Call) != call {
+				continue
+			}
+			cost := c.taskCost(t)
+			res.CompNs += cost
+			node := c.Owner(int(t.P), g.Prog.NP)
+			if t.P < 0 {
+				// Serial reduction on rank 0 after an allreduce-style
+				// gather: log2(N) latency steps plus the payload.
+				var bytes int64
+				for _, r := range t.Reads {
+					bytes += r.Bytes
+				}
+				steps := log2ceil(c.Nodes)
+				reduceCost += cost + float64(steps)*(c.NetLatencyNs+float64(bytes)*c.NetNsPerByte)
+				if c.Nodes > 1 {
+					res.CommMsgs += int64(steps)
+					res.CommBytes += bytes
+				}
+				continue
+			}
+			a := &agg[node]
+			a.work += cost
+			if cost > a.span {
+				a.span = cost
+			}
+			if rb := remoteInputBytes(g, t, c); rb > 0 && c.Nodes > 1 {
+				a.haloB += rb
+				if a.haloFrom == nil {
+					a.haloFrom = make(map[int]bool)
+				}
+				if t.Q >= 0 {
+					a.haloFrom[c.Owner(int(t.Q), g.Prog.NP)] = true
+				} else {
+					a.haloFrom[(node+1)%c.Nodes] = true
+				}
+			}
+		}
+		// Kernel time = slowest node (barrier), including its halo exchange
+		// up front (MPI: communicate, then compute).
+		var kernel float64
+		for n := range agg {
+			a := &agg[n]
+			msgs := int64(len(a.haloFrom))
+			comm := float64(msgs)*c.NetLatencyNs + float64(a.haloB)*c.NetNsPerByte
+			comp := a.work / float64(c.CoresPerNode)
+			if a.span > comp {
+				comp = a.span
+			}
+			if v := comm + comp; v > kernel {
+				kernel = v
+			}
+			res.CommBytes += a.haloB
+			res.CommMsgs += msgs
+		}
+		res.MakespanNs += kernel + reduceCost
+	}
+	return res
+}
+
+// runHPXDist executes the whole TDG with list scheduling over all nodes'
+// cores: a task becomes available when its dependencies finish plus its
+// remote-input stream-in time (communication overlaps other computation; no
+// barriers). Reductions pay the same log2(N) gather latency but inline.
+func runHPXDist(g *graph.TDG, c Cluster) Result {
+	var res Result
+	n := len(g.Tasks)
+	if n == 0 {
+		return res
+	}
+	// Per-node core availability.
+	coreFree := make([][]float64, c.Nodes)
+	for i := range coreFree {
+		coreFree[i] = make([]float64, c.CoresPerNode)
+	}
+	ready := make([]float64, n) // earliest start (deps + comm)
+	indeg := make([]int, n)
+	for i := range g.Tasks {
+		indeg[i] = len(g.Tasks[i].Deps)
+	}
+	// Process tasks in topological order with a time-ordered ready list.
+	type item struct {
+		at   float64
+		task int32
+	}
+	var q []item
+	for i := range g.Tasks {
+		if indeg[i] == 0 {
+			q = append(q, item{commReadyAt(g, &g.Tasks[i], c, 0, &res), int32(i)})
+		}
+	}
+	finish := make([]float64, n)
+	for len(q) > 0 {
+		// Pop the earliest-available task (deterministic tie-break on id).
+		best := 0
+		for i := 1; i < len(q); i++ {
+			if q[i].at < q[best].at || (q[i].at == q[best].at && q[i].task < q[best].task) {
+				best = i
+			}
+		}
+		it := q[best]
+		q[best] = q[len(q)-1]
+		q = q[:len(q)-1]
+
+		t := &g.Tasks[it.task]
+		node := c.Owner(int(t.P), g.Prog.NP)
+		// Earliest-free core on the owner node.
+		cf := coreFree[node]
+		core := 0
+		for k := 1; k < len(cf); k++ {
+			if cf[k] < cf[core] {
+				core = k
+			}
+		}
+		start := it.at
+		if cf[core] > start {
+			start = cf[core]
+		}
+		cost := c.taskCost(t)
+		res.CompNs += cost
+		end := start + cost
+		cf[core] = end
+		finish[it.task] = end
+		if end > res.MakespanNs {
+			res.MakespanNs = end
+		}
+		for _, s := range t.Succs {
+			if dep := finish[it.task]; dep > ready[s] {
+				ready[s] = dep
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				st := &g.Tasks[s]
+				at := commReadyAt(g, st, c, ready[s], &res)
+				q = append(q, item{at, s})
+			}
+		}
+	}
+	return res
+}
+
+// commReadyAt returns when a task's remote inputs have arrived, given its
+// dependencies resolved at depsAt, and accounts the traffic.
+func commReadyAt(g *graph.TDG, t *graph.Task, c Cluster, depsAt float64, res *Result) float64 {
+	rb := remoteInputBytes(g, t, c)
+	if rb == 0 || c.Nodes == 1 {
+		return depsAt
+	}
+	res.CommBytes += rb
+	res.CommMsgs++
+	return depsAt + c.NetLatencyNs + float64(rb)*c.NetNsPerByte
+}
+
+func log2ceil(n int) int {
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// SweepRow is one point of the future-work scaling comparison.
+type SweepRow struct {
+	Nodes   int
+	Mode    Mode
+	Result  Result
+	Speedup float64 // T(smallest node count, same mode) / T(this)
+}
+
+// Sweep executes g at each node count under both modes. Speedups are
+// relative to the smallest node count of the same mode.
+func Sweep(g *graph.TDG, base Cluster, nodeCounts []int) ([]SweepRow, error) {
+	var rows []SweepRow
+	baseT := map[Mode]float64{}
+	sorted := append([]int(nil), nodeCounts...)
+	sort.Ints(sorted)
+	for _, nodes := range sorted {
+		cl := base
+		cl.Nodes = nodes
+		for _, mode := range []Mode{MPIBSP, HPXDist} {
+			r, err := Run(g, cl, mode)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := baseT[mode]; !ok {
+				baseT[mode] = r.MakespanNs
+			}
+			row := SweepRow{Nodes: nodes, Mode: mode, Result: r}
+			if r.MakespanNs > 0 {
+				row.Speedup = baseT[mode] / r.MakespanNs
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"testing"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/matgen"
+	"sparsetask/internal/program"
+	"sparsetask/internal/solver"
+	"sparsetask/internal/sparse"
+)
+
+// lanczosGraph builds a banded FEM Lanczos graph: the structure distributed
+// solvers are actually run on (graph/KKT inputs get reordered first).
+func lanczosGraph(t *testing.T, rows, bc int) *graph.TDG {
+	t.Helper()
+	g := 2
+	for 2*g*g*g < rows {
+		g++
+	}
+	coo := matgen.FEM3D(g, g, g, 2, 7, 1)
+	block := (coo.Rows + bc - 1) / bc
+	l, err := solver.NewLanczos(coo.ToCSB(block), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.Graph()
+}
+
+func TestClusterValidate(t *testing.T) {
+	if err := DefaultCluster(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultCluster(0)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid cluster accepted")
+	}
+}
+
+func TestOwnerMap(t *testing.T) {
+	c := DefaultCluster(4)
+	np := 64
+	if c.Owner(0, np) != 0 || c.Owner(63, np) != 3 {
+		t.Fatal("owner endpoints wrong")
+	}
+	prev := 0
+	for p := 0; p < np; p++ {
+		o := c.Owner(p, np)
+		if o < prev {
+			t.Fatal("owner map not monotone")
+		}
+		prev = o
+	}
+	if c.Owner(-1, np) != 0 {
+		t.Fatal("reductions must live on rank 0")
+	}
+}
+
+func TestSingleNodeModesAgreeOnComm(t *testing.T) {
+	g := lanczosGraph(t, 4000, 64)
+	for _, mode := range []Mode{MPIBSP, HPXDist} {
+		r, err := Run(g, DefaultCluster(1), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CommBytes != 0 || r.CommMsgs != 0 {
+			t.Errorf("%s: single node must not communicate: %+v", mode, r)
+		}
+		if r.MakespanNs <= 0 {
+			t.Errorf("%s: nonpositive makespan", mode)
+		}
+	}
+}
+
+func TestHPXDistOverlapsCommunication(t *testing.T) {
+	// With communication overlap and no barriers, the async model must not
+	// be slower than the bulk-synchronous one on multi-node runs.
+	g := lanczosGraph(t, 8000, 128)
+	for _, nodes := range []int{2, 4, 8} {
+		cl := DefaultCluster(nodes)
+		mpi, err := Run(g, cl, MPIBSP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hpx, err := Run(g, cl, HPXDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hpx.MakespanNs > mpi.MakespanNs*1.05 {
+			t.Errorf("nodes=%d: hpx-dist %.0f ns slower than mpi+omp %.0f ns",
+				nodes, hpx.MakespanNs, mpi.MakespanNs)
+		}
+	}
+}
+
+func TestDistributedScalingImproves(t *testing.T) {
+	// Distributing a large graph must reduce makespan going from 1 to 4
+	// nodes (the work is parallelizable and comm is subdominant).
+	g := lanczosGraph(t, 60000, 256)
+	for _, mode := range []Mode{MPIBSP, HPXDist} {
+		r1, err := Run(g, DefaultCluster(1), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := Run(g, DefaultCluster(4), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r4.MakespanNs >= r1.MakespanNs {
+			t.Errorf("%s: 4 nodes (%.0f) not faster than 1 node (%.0f)",
+				mode, r4.MakespanNs, r1.MakespanNs)
+		}
+	}
+}
+
+func TestCommunicationGrowsWithNodes(t *testing.T) {
+	g := lanczosGraph(t, 8000, 128)
+	prev := int64(-1)
+	for _, nodes := range []int{2, 4, 8} {
+		r, err := Run(g, DefaultCluster(nodes), MPIBSP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CommBytes <= 0 {
+			t.Fatalf("nodes=%d: no communication on a banded matrix?", nodes)
+		}
+		if r.CommBytes < prev {
+			t.Errorf("comm bytes decreased going to %d nodes", nodes)
+		}
+		prev = r.CommBytes
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	g := lanczosGraph(t, 8000, 128)
+	rows, err := Sweep(g, DefaultCluster(1), []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes == 1 && r.Speedup != 1 {
+			t.Errorf("baseline speedup %v, want 1", r.Speedup)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("nonpositive speedup at %d nodes", r.Nodes)
+		}
+	}
+}
+
+func TestRunEmptyGraph(t *testing.T) {
+	p := program.New(8, 4)
+	g, err := graph.Build(p, map[program.OperandID]*sparse.CSB{}, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(g, DefaultCluster(2), HPXDist)
+	if err != nil || r.MakespanNs != 0 {
+		t.Fatalf("empty graph: %+v %v", r, err)
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+// Bounds are scheduling lower bounds for executing the TDG on w workers with
+// the given per-task cost function, from the two classic arguments:
+//
+//   - Work bound:  total cost / w (no schedule can beat perfect speedup);
+//   - Span bound:  the critical-path cost (dependencies serialize it).
+//
+// Brent's theorem guarantees any greedy schedule finishes within
+// Work/w + Span, so together the bounds bracket every reasonable scheduler.
+// The simulator tests use them as invariants: simulated makespans must never
+// beat the lower bound, and greedy policies must stay within the Brent
+// envelope when no artificial serialization (spawn gates, barriers) applies.
+type Bounds struct {
+	Work float64 // Σ cost(t)
+	Span float64 // max over paths of Σ cost(t)
+}
+
+// LowerBound returns the larger of the two lower bounds for w workers.
+func (b Bounds) LowerBound(w int) float64 {
+	lb := b.Work / float64(w)
+	if b.Span > lb {
+		return b.Span
+	}
+	return lb
+}
+
+// BrentUpperBound returns Work/w + Span, the greedy-schedule guarantee.
+func (b Bounds) BrentUpperBound(w int) float64 {
+	return b.Work/float64(w) + b.Span
+}
+
+// ComputeBounds evaluates the bounds under an arbitrary task cost model.
+// cost must be non-negative. Runs in one topological pass (task ids are
+// topologically ordered by construction).
+func (g *TDG) ComputeBounds(cost func(*Task) float64) Bounds {
+	var b Bounds
+	reach := make([]float64, len(g.Tasks))
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		c := cost(t)
+		b.Work += c
+		longest := 0.0
+		for _, d := range t.Deps {
+			if reach[d] > longest {
+				longest = reach[d]
+			}
+		}
+		reach[i] = longest + c
+		if reach[i] > b.Span {
+			b.Span = reach[i]
+		}
+	}
+	return b
+}
+
+// FlopBounds are ComputeBounds under the task flop counts: the
+// machine-independent work/span decomposition of the graph.
+func (g *TDG) FlopBounds() Bounds {
+	return g.ComputeBounds(func(t *Task) float64 { return float64(t.Flops) })
+}
+
+// Parallelism returns Work/Span under the flop cost model: the average
+// available parallelism of the TDG — what the paper calls the degree of
+// parallelism the decomposition exposes.
+func (g *TDG) Parallelism() float64 {
+	b := g.FlopBounds()
+	if b.Span == 0 {
+		return 0
+	}
+	return b.Work / b.Span
+}

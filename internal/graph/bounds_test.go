@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"sparsetask/internal/program"
+	"sparsetask/internal/sparse"
+)
+
+func TestBoundsChainAndFan(t *testing.T) {
+	// Dense 3x3-tile SpMM: per row, a chain of 3 tile tasks. With unit
+	// costs: work 9, span 3 (one chain).
+	m, block := 9, 3
+	p := program.New(m, block)
+	A := p.Sparse("A")
+	X := p.Vec("X", 1)
+	Y := p.Vec("Y", 1)
+	p.SpMM(Y, A, X)
+	g, err := Build(p, map[program.OperandID]*sparse.CSB{A: denseCSB(m, block, 1)}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.ComputeBounds(func(*Task) float64 { return 1 })
+	if b.Work != 9 || b.Span != 3 {
+		t.Fatalf("bounds = %+v, want work 9 span 3", b)
+	}
+	if lb := b.LowerBound(3); lb != 3 {
+		t.Fatalf("LowerBound(3) = %v, want 3 (both bounds coincide)", lb)
+	}
+	if lb := b.LowerBound(1); lb != 9 {
+		t.Fatalf("LowerBound(1) = %v, want 9", lb)
+	}
+	if ub := b.BrentUpperBound(3); ub != 6 {
+		t.Fatalf("Brent(3) = %v, want 6", ub)
+	}
+}
+
+func TestFlopBoundsAndParallelism(t *testing.T) {
+	m, block, n := 60, 6, 4
+	p, A, _, _, _, _, _ := listing1Program(m, block, n)
+	g, err := Build(p, map[program.OperandID]*sparse.CSB{A: denseCSB(m, block, 2)}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.FlopBounds()
+	if b.Work <= 0 || b.Span <= 0 || b.Span > b.Work {
+		t.Fatalf("degenerate flop bounds %+v", b)
+	}
+	// Total flops must match the sum over tasks.
+	var total float64
+	for i := range g.Tasks {
+		total += float64(g.Tasks[i].Flops)
+	}
+	if math.Abs(b.Work-total) > 1e-9 {
+		t.Fatalf("work %v != Σflops %v", b.Work, total)
+	}
+	par := g.Parallelism()
+	if par < 1 || par > float64(len(g.Tasks)) {
+		t.Fatalf("parallelism %v out of range", par)
+	}
+}
+
+func TestParallelismGrowsWithBlockCount(t *testing.T) {
+	// The paper's premise: finer tiling exposes more parallelism.
+	m := 128
+	mk := func(block int) float64 {
+		p := program.New(m, block)
+		A := p.Sparse("A")
+		X := p.Vec("X", 1)
+		Y := p.Vec("Y", 1)
+		p.SpMM(Y, A, X)
+		p.Dot(p.Scalar("s"), Y, Y)
+		g, err := Build(p, map[program.OperandID]*sparse.CSB{A: denseCSB(m, block, 3)}, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Parallelism()
+	}
+	coarse := mk(64) // 2x2 tiles
+	fine := mk(16)   // 8x8 tiles
+	if fine <= coarse {
+		t.Fatalf("parallelism fine=%v should exceed coarse=%v", fine, coarse)
+	}
+}

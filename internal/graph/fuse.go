@@ -1,0 +1,134 @@
+package graph
+
+// Task fusion: chains of elementwise per-partition tasks (XY, AXPBY, SCALE,
+// COPY, DSCALE) that form a private producer→consumer link on the same
+// partition are merged into one task. Fusion trades graph flexibility for
+// lower scheduling overhead and tighter cache reuse — the same lever as
+// coarsening the block size, but applied only where the graph proves no
+// parallelism is lost (the fused tasks could never run concurrently anyway).
+//
+// A fused task carries its constituents in Parts; executors run them
+// back-to-back, and the simulator charges one dispatch overhead for the
+// whole chain.
+
+// Part is one constituent of a fused task.
+type Part struct {
+	Kind  TaskKind
+	Call  int32
+	P, Q  int32
+	First bool
+}
+
+// fusable reports whether a task kind is an elementwise per-partition kernel
+// that may join a fusion chain.
+func fusable(k TaskKind) bool {
+	switch k {
+	case TGemm, TAxpby, TScaleInv, TCopy, TDiagScale:
+		return true
+	}
+	return false
+}
+
+// Fuse returns a new TDG with elementwise chains fused. The input graph is
+// not modified. Two consecutive tasks a→b fuse when both are fusable, on the
+// same partition, b's only dependency is a, and a's only successor is b.
+func Fuse(g *TDG) *TDG {
+	n := len(g.Tasks)
+	// head[i] = the chain head task id that i is fused into (or i itself).
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = int32(i)
+	}
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		if !fusable(t.Kind) || len(t.Deps) != 1 {
+			continue
+		}
+		d := t.Deps[0]
+		pre := &g.Tasks[d]
+		if !fusable(pre.Kind) || len(pre.Succs) != 1 || pre.P != t.P {
+			continue
+		}
+		head[i] = head[d]
+	}
+
+	// Build new tasks in original (topological) order, one per chain head.
+	newID := make([]int32, n)
+	out := &TDG{Prog: g.Prog, Opt: g.Opt, Mats: g.Mats}
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		if head[i] != int32(i) {
+			// Fused into an earlier task: merge payload there.
+			id := newID[head[i]]
+			nt := &out.Tasks[id]
+			nt.Parts = append(nt.Parts, Part{t.Kind, t.Call, t.P, t.Q, t.First})
+			nt.Flops += t.Flops
+			nt.Reads = mergeRefs(nt.Reads, t.Reads)
+			nt.Writes = mergeRefs(nt.Writes, t.Writes)
+			newID[i] = id
+			continue
+		}
+		id := int32(len(out.Tasks))
+		newID[i] = id
+		nt := *t
+		nt.ID = id
+		nt.Deps = nil
+		nt.Succs = nil
+		nt.Reads = append([]Ref(nil), t.Reads...)
+		nt.Writes = append([]Ref(nil), t.Writes...)
+		nt.Parts = []Part{{t.Kind, t.Call, t.P, t.Q, t.First}}
+		out.Tasks = append(out.Tasks, nt)
+	}
+
+	// Remap dependencies: external deps of every constituent, deduplicated,
+	// excluding intra-chain edges.
+	seen := make(map[int64]bool)
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		from := newID[i]
+		for _, d := range t.Deps {
+			to := newID[d]
+			if to == from {
+				continue // intra-chain
+			}
+			key := int64(to)<<32 | int64(from)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out.Tasks[from].Deps = append(out.Tasks[from].Deps, to)
+		}
+	}
+	for i := range out.Tasks {
+		t := &out.Tasks[i]
+		if len(t.Deps) == 0 {
+			out.Roots = append(out.Roots, t.ID)
+		}
+		for _, d := range t.Deps {
+			out.Tasks[d].Succs = append(out.Tasks[d].Succs, t.ID)
+			out.NumEdges++
+		}
+	}
+	return out
+}
+
+// mergeRefs unions two ref lists by region, keeping the larger footprint.
+func mergeRefs(a, b []Ref) []Ref {
+	out := append([]Ref(nil), a...)
+	for _, r := range b {
+		found := false
+		for i := range out {
+			if out[i].Region == r.Region {
+				if r.Bytes > out[i].Bytes {
+					out[i].Bytes = r.Bytes
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, r)
+		}
+	}
+	return out
+}

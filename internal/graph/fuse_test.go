@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"testing"
+
+	"sparsetask/internal/program"
+	"sparsetask/internal/sparse"
+)
+
+// fusableProgram builds a graph with a long elementwise pipeline per
+// partition: SpMM → XY → AXPBY → COPY → SCALE-able chain.
+func fusableProgram(t *testing.T) (*TDG, *program.Program) {
+	t.Helper()
+	m, block, n := 32, 8, 2
+	p := program.New(m, block)
+	A := p.Sparse("A")
+	X := p.Vec("X", n)
+	Y := p.Vec("Y", n)
+	Z := p.Small("Z", n, n)
+	Q := p.Vec("Q", n)
+	W := p.Vec("W", n)
+	V := p.Vec("V", n)
+	p.SpMM(Y, A, X)
+	p.Gemm(Q, 1, Y, Z, 0)  // fusable, depends only on Y[bi]+Z
+	p.Axpby(W, 1, Q, 2, Q) // fusable, single dep on Gemm[bi]
+	p.Copy(V, W)           // fusable, single dep on Axpby[bi]
+	g, err := Build(p, map[program.OperandID]*sparse.CSB{A: denseCSB(m, block, 9)}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+func TestFuseCollapsesElementwiseChains(t *testing.T) {
+	g, _ := fusableProgram(t)
+	f := Fuse(g)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per partition: Gemm+Axpby+Copy collapse into one task. 4 partitions ×
+	// 2 saved tasks = 8 fewer tasks.
+	if want := len(g.Tasks) - 8; len(f.Tasks) != want {
+		t.Fatalf("fused graph has %d tasks, want %d (from %d)", len(f.Tasks), want, len(g.Tasks))
+	}
+	fusedCount := 0
+	for i := range f.Tasks {
+		if len(f.Tasks[i].Parts) == 3 {
+			fusedCount++
+			// Fused flops must be the sum of constituents.
+			if f.Tasks[i].Flops <= 0 {
+				t.Error("fused task lost flops")
+			}
+		}
+	}
+	if fusedCount != 4 {
+		t.Fatalf("%d three-part fused tasks, want 4", fusedCount)
+	}
+}
+
+func TestFuseDoesNotCrossPartitions(t *testing.T) {
+	g, _ := fusableProgram(t)
+	f := Fuse(g)
+	for i := range f.Tasks {
+		task := &f.Tasks[i]
+		for _, part := range task.Parts {
+			if part.P != task.P {
+				t.Fatalf("fused task %d mixes partitions %d and %d", task.ID, task.P, part.P)
+			}
+		}
+	}
+}
+
+func TestFuseDoesNotFuseSharedProducers(t *testing.T) {
+	// Y feeds TWO consumers: neither may fuse with the producer (parallelism
+	// would be lost).
+	m, block, n := 16, 8, 2
+	p := program.New(m, block)
+	X := p.Vec("X", n)
+	Y := p.Vec("Y", n)
+	W1 := p.Vec("W1", n)
+	W2 := p.Vec("W2", n)
+	p.Copy(Y, X)
+	p.Axpby(W1, 1, Y, 0, Y)
+	p.Axpby(W2, 2, Y, 0, Y)
+	g, err := Build(p, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Fuse(g)
+	if len(f.Tasks) != len(g.Tasks) {
+		t.Fatalf("fusion across a shared producer: %d -> %d tasks", len(g.Tasks), len(f.Tasks))
+	}
+}
+
+func TestFusePreservesCriticalStructure(t *testing.T) {
+	g, _ := fusableProgram(t)
+	f := Fuse(g)
+	// Kernel-level reachability must be intact: the graph still ends with
+	// the same number of leaf tasks per partition and stats stay coherent.
+	sOrig := g.ComputeStats()
+	sFused := f.ComputeStats()
+	if sFused.TotalFlops != sOrig.TotalFlops {
+		t.Fatalf("fusion changed total flops: %d -> %d", sOrig.TotalFlops, sFused.TotalFlops)
+	}
+	if sFused.CriticalPath >= sOrig.CriticalPath {
+		t.Fatalf("fusion should shorten the task-level critical path: %d -> %d",
+			sOrig.CriticalPath, sFused.CriticalPath)
+	}
+}

@@ -1,0 +1,66 @@
+package machine
+
+import "testing"
+
+func TestPaperGeometry(t *testing.T) {
+	b := Broadwell()
+	if b.Cores != 28 || b.Sockets != 2 || b.NUMADomains != 2 {
+		t.Fatalf("Broadwell topology %+v", b)
+	}
+	if b.L3.SizeBytes != 35<<20 || b.L3.SharedBy != 14 {
+		t.Fatalf("Broadwell L3 %+v", b.L3)
+	}
+	e := EPYC()
+	if e.Cores != 128 || e.NUMADomains != 8 {
+		t.Fatalf("EPYC topology %+v", e)
+	}
+	if e.L3.SizeBytes != 16<<20 || e.L3.SharedBy != 4 {
+		t.Fatalf("EPYC L3 must be 16MB per 4-core CCX: %+v", e.L3)
+	}
+	if e.L2.SizeBytes != 512<<10 {
+		t.Fatalf("EPYC L2 %+v", e.L2)
+	}
+}
+
+func TestSlowDownUniform(t *testing.T) {
+	m := Broadwell()
+	s := m.SlowDown(10)
+	if s.MemLatencyNs != m.MemLatencyNs*10 || s.BWNsPerLine != m.BWNsPerLine*10 {
+		t.Fatal("latency/bandwidth not slowed")
+	}
+	if s.FlopsPerNs != m.FlopsPerNs/10 {
+		t.Fatal("flop rate not slowed")
+	}
+	if m.SlowDown(1) != m || m.SlowDown(0) != m {
+		t.Fatal("SlowDown <= 1 must be identity")
+	}
+}
+
+func TestScaledPrivateVsShared(t *testing.T) {
+	m := Broadwell().Scaled(64)
+	// LLC scales by the full factor, private caches by its square root.
+	if m.L3.SizeBytes != (35<<20)/64 {
+		t.Fatalf("L3 = %d", m.L3.SizeBytes)
+	}
+	if m.L2.SizeBytes != (256<<10)/8 {
+		t.Fatalf("L2 = %d, want /8", m.L2.SizeBytes)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Broadwell().Scaled(1) != Broadwell() {
+		t.Fatal("Scaled(1) must be identity")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"broadwell", "epyc"} {
+		m, err := ByName(n)
+		if err != nil || m.Name != n {
+			t.Errorf("ByName(%s): %v %v", n, m.Name, err)
+		}
+	}
+	if _, err := ByName("m1max"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

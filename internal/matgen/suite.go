@@ -1,0 +1,223 @@
+package matgen
+
+import (
+	"fmt"
+	"math"
+
+	"sparsetask/internal/sparse"
+)
+
+// Preset scales the paper's suite down to sizes a single development machine
+// can generate and iterate on. Div divides the paper row counts; MinRows
+// keeps the smallest matrices non-degenerate. CacheDiv is the matching
+// divisor for the simulated machines' cache sizes, preserving the
+// matrix-vs-LLC size relationships the cache experiments depend on (it is
+// smaller than Div because caches cannot shrink below a few lines without
+// losing all structure).
+type Preset struct {
+	Name     string
+	Div      int
+	MinRows  int
+	CacheDiv int
+	// SlowDown uniformly slows the simulated machine so that per-task
+	// compute time keeps the paper's ratio to the (real-world, unscaled)
+	// runtime overheads despite the matrices being Div× smaller.
+	SlowDown float64
+}
+
+var (
+	// Tiny is for unit tests: hundreds to a few thousand rows.
+	Tiny = Preset{Name: "tiny", Div: 16384, MinRows: 768, CacheDiv: 128, SlowDown: 192}
+	// Small is the default experiment scale: ~1k–60k rows.
+	Small = Preset{Name: "small", Div: 1024, MinRows: 6144, CacheDiv: 64, SlowDown: 64}
+	// Medium stresses the cache simulator: ~4k–250k rows.
+	Medium = Preset{Name: "medium", Div: 256, MinRows: 12288, CacheDiv: 16, SlowDown: 16}
+)
+
+// OverheadScale is the factor runtime overheads must shrink by to keep the
+// paper's overhead:work ratio: per-task work shrinks by Div but the machine
+// is only slowed by SlowDown, so overheads scale by SlowDown/Div.
+func (p Preset) OverheadScale() float64 {
+	if p.Div <= 0 || p.SlowDown <= 0 {
+		return 1
+	}
+	return p.SlowDown / float64(p.Div)
+}
+
+// PresetByName resolves a preset name from the CLI.
+func PresetByName(name string) (Preset, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	}
+	return Preset{}, fmt.Errorf("matgen: unknown preset %q (want tiny, small, medium)", name)
+}
+
+// Spec describes one matrix of the paper's Table 1 and how to synthesize its
+// structural analog.
+type Spec struct {
+	Name      string
+	Class     string // fem3d, kkt, rmat, bandcfd, blockci, trace
+	PaperRows int64
+	PaperNNZ  int64
+	// MadeSymmetric marks matrices the paper symmetrized (bold in Table 1).
+	MadeSymmetric bool
+	// Binary marks originally-binary matrices filled with random values
+	// (italic in Table 1).
+	Binary bool
+	build  func(rows int, seed int64) *sparse.COO
+}
+
+// TargetRows returns the scaled row count under the preset.
+func (s Spec) TargetRows(p Preset) int {
+	r := int(s.PaperRows / int64(p.Div))
+	if r < p.MinRows {
+		r = p.MinRows
+	}
+	return r
+}
+
+// Build synthesizes the matrix at the preset's scale. Output is symmetric
+// and deterministic in seed. The exact row count may differ slightly from
+// TargetRows (grid and power-of-two rounding).
+func (s Spec) Build(p Preset, seed int64) *sparse.COO {
+	return s.build(s.TargetRows(p), seed)
+}
+
+// femRows solves nx·ny·nz·dof ≈ rows for a near-cubic grid.
+func femGrid(rows, dof int) (int, int, int) {
+	g := int(math.Cbrt(float64(rows) / float64(dof)))
+	if g < 2 {
+		g = 2
+	}
+	return g, g, g
+}
+
+// Suite returns the 15-matrix evaluation suite in the order of Table 1.
+func Suite() []Spec {
+	return []Spec{
+		{
+			Name: "inline1", Class: "fem3d", PaperRows: 503_712, PaperNNZ: 36_816_170,
+			build: func(rows int, seed int64) *sparse.COO {
+				nx, ny, nz := femGrid(rows, 3)
+				return FEM3D(nx, ny, nz, 3, 27, seed)
+			},
+		},
+		{
+			Name: "dielFilterV3real", Class: "fem3d", PaperRows: 1_102_824, PaperNNZ: 89_306_020,
+			build: func(rows int, seed int64) *sparse.COO {
+				nx, ny, nz := femGrid(rows, 3)
+				return FEM3D(nx, ny, nz, 3, 27, seed)
+			},
+		},
+		{
+			Name: "Flan_1565", Class: "fem3d", PaperRows: 1_564_794, PaperNNZ: 117_406_044,
+			build: func(rows int, seed int64) *sparse.COO {
+				nx, ny, nz := femGrid(rows, 3)
+				return FEM3D(nx, ny, nz, 3, 27, seed)
+			},
+		},
+		{
+			Name: "HV15R", Class: "bandcfd", PaperRows: 2_017_169, PaperNNZ: 281_419_743,
+			MadeSymmetric: true,
+			build: func(rows int, seed int64) *sparse.COO {
+				return BandCFD(rows, 139, max(64, rows/64), seed)
+			},
+		},
+		{
+			Name: "Bump_2911", Class: "fem3d", PaperRows: 2_911_419, PaperNNZ: 127_729_899,
+			build: func(rows int, seed int64) *sparse.COO {
+				nx, ny, nz := femGrid(rows, 6)
+				return FEM3D(nx, ny, nz, 6, 7, seed)
+			},
+		},
+		{
+			Name: "Queen4147", Class: "fem3d", PaperRows: 4_147_110, PaperNNZ: 329_499_284,
+			build: func(rows int, seed int64) *sparse.COO {
+				nx, ny, nz := femGrid(rows, 3)
+				return FEM3D(nx, ny, nz, 3, 27, seed)
+			},
+		},
+		{
+			Name: "Nm7", Class: "blockci", PaperRows: 4_985_422, PaperNNZ: 647_663_919,
+			build: func(rows int, seed int64) *sparse.COO {
+				return BlockCI(rows, 32, 8, seed)
+			},
+		},
+		{
+			Name: "nlpkkt160", Class: "kkt", PaperRows: 8_345_600, PaperNNZ: 229_518_112,
+			build: func(rows int, seed int64) *sparse.COO {
+				return KKT(kktGrid(rows), seed)
+			},
+		},
+		{
+			Name: "nlpkkt200", Class: "kkt", PaperRows: 16_240_000, PaperNNZ: 448_225_632,
+			build: func(rows int, seed int64) *sparse.COO {
+				return KKT(kktGrid(rows), seed)
+			},
+		},
+		{
+			Name: "nlpkkt240", Class: "kkt", PaperRows: 27_993_600, PaperNNZ: 774_472_352,
+			build: func(rows int, seed int64) *sparse.COO {
+				return KKT(kktGrid(rows), seed)
+			},
+		},
+		{
+			Name: "it-2004", Class: "rmat", PaperRows: 41_291_594, PaperNNZ: 1_120_355_761,
+			MadeSymmetric: true, Binary: true,
+			build: func(rows int, seed int64) *sparse.COO {
+				return RMAT(rows, 13.5, 0.57, seed) // ×2 after symmetrization ≈ 27/row
+			},
+		},
+		{
+			Name: "twitter7", Class: "rmat", PaperRows: 41_652_230, PaperNNZ: 868_012_304,
+			MadeSymmetric: true, Binary: true,
+			build: func(rows int, seed int64) *sparse.COO {
+				return RMAT(rows, 10.5, 0.62, seed)
+			},
+		},
+		{
+			Name: "sk-2005", Class: "rmat", PaperRows: 50_636_154, PaperNNZ: 1_909_906_755,
+			MadeSymmetric: true, Binary: true,
+			build: func(rows int, seed int64) *sparse.COO {
+				return RMAT(rows, 19, 0.6, seed)
+			},
+		},
+		{
+			Name: "webbase-2001", Class: "rmat", PaperRows: 118_142_155, PaperNNZ: 1_013_570_040,
+			MadeSymmetric: true, Binary: true,
+			build: func(rows int, seed int64) *sparse.COO {
+				return RMAT(rows, 4.3, 0.65, seed)
+			},
+		},
+		{
+			Name: "mawi_201512020130", Class: "trace", PaperRows: 128_568_730, PaperNNZ: 270_234_840,
+			MadeSymmetric: true, Binary: true,
+			build: func(rows int, seed int64) *sparse.COO {
+				return TraceGraph(rows, 2.1, seed)
+			},
+		},
+	}
+}
+
+// SpecByName resolves a suite matrix by its Table 1 name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("matgen: unknown matrix %q", name)
+}
+
+func kktGrid(rows int) int {
+	g := int(math.Cbrt(float64(rows) / 2))
+	if g < 2 {
+		g = 2
+	}
+	return g
+}

@@ -1,0 +1,124 @@
+package program
+
+import (
+	"fmt"
+
+	"sparsetask/internal/sparse"
+)
+
+// Store holds the concrete data behind a program's operands. One Store is
+// shared by all tasks of an execution; the task-dependency graph guarantees
+// conflict-free access, so the store needs no locking: all per-operand
+// backing slices are preallocated up front and only their *elements* are
+// written by tasks (never the slice headers or any map), keeping concurrent
+// task execution race-free.
+type Store struct {
+	P       *Program
+	SparseM map[OperandID]*sparse.CSB
+	// Vec, Small and Scalars are indexed by OperandID; entries for operands
+	// of other kinds are nil/unused.
+	Vec      [][]float64
+	Small    [][]float64
+	Scalars  []float64
+	partials map[partialKey][]float64
+	spmmBuf  map[partialKey][]float64
+}
+
+type partialKey struct {
+	call int32
+	part int32
+}
+
+// NewStore allocates backing storage for every operand of p except sparse
+// matrices, which must be attached with SetSparse.
+func NewStore(p *Program) *Store {
+	st := &Store{
+		P:        p,
+		SparseM:  make(map[OperandID]*sparse.CSB),
+		Vec:      make([][]float64, len(p.Ops)),
+		Small:    make([][]float64, len(p.Ops)),
+		Scalars:  make([]float64, len(p.Ops)),
+		partials: make(map[partialKey][]float64),
+		spmmBuf:  make(map[partialKey][]float64),
+	}
+	for _, o := range p.Ops {
+		switch o.Kind {
+		case OpVec:
+			st.Vec[o.ID] = make([]float64, o.Rows*o.Cols)
+		case OpSmall:
+			st.Small[o.ID] = make([]float64, o.Rows*o.Cols)
+		}
+	}
+	// Preallocate every reduction partial buffer up front: tasks run
+	// concurrently and must never mutate the maps.
+	for ci, c := range p.Calls {
+		var n int
+		switch c.Kind {
+		case CGemmT:
+			n = p.Op(c.A).Cols * p.Op(c.B).Cols
+		case CDot:
+			n = 1
+		case CSpMM:
+			if c.ReduceSpMM {
+				// One full-output-height column buffer per partition: the
+				// deliberately memory-hungry reduce-based variant.
+				w := p.Op(c.Out).Cols
+				for bj := 0; bj < p.NP; bj++ {
+					st.spmmBuf[partialKey{int32(ci), int32(bj)}] = make([]float64, p.M*w)
+				}
+			}
+			continue
+		default:
+			continue
+		}
+		for part := 0; part < p.NP; part++ {
+			st.partials[partialKey{int32(ci), int32(part)}] = make([]float64, n)
+		}
+	}
+	return st
+}
+
+// SetSparse attaches the CSB matrix for a sparse operand. The CSB tile size
+// must equal the program block size so matrix tiles and vector partitions
+// line up.
+func (st *Store) SetSparse(id OperandID, a *sparse.CSB) {
+	o := st.P.Op(id)
+	if o.Kind != OpSparse {
+		panic(fmt.Sprintf("program: SetSparse on %s operand %s", o.Kind, o.Name))
+	}
+	if a.Block != st.P.Block {
+		panic(fmt.Sprintf("program: CSB block %d != program block %d", a.Block, st.P.Block))
+	}
+	if a.Rows != st.P.M {
+		panic(fmt.Sprintf("program: CSB rows %d != program rows %d", a.Rows, st.P.M))
+	}
+	st.SparseM[id] = a
+}
+
+// VecPart returns the slice of vec operand id covering row partition part.
+func (st *Store) VecPart(id OperandID, part int) []float64 {
+	o := st.P.Op(id)
+	lo := part * st.P.Block * o.Cols
+	hi := lo + st.P.PartRows(part)*o.Cols
+	return st.Vec[id][lo:hi]
+}
+
+// Partial returns the preallocated partial buffer for reduction call callIdx
+// at partition part. Concurrent callers only read the map, which is safe.
+func (st *Store) Partial(callIdx, part int) []float64 {
+	b, ok := st.partials[partialKey{int32(callIdx), int32(part)}]
+	if !ok {
+		panic(fmt.Sprintf("program: no partial buffer for call %d partition %d", callIdx, part))
+	}
+	return b
+}
+
+// SpMMBuf returns the reduce-based SpMM column buffer for call callIdx and
+// column partition bj. It has the full output height.
+func (st *Store) SpMMBuf(callIdx, bj int) []float64 {
+	b, ok := st.spmmBuf[partialKey{int32(callIdx), int32(bj)}]
+	if !ok {
+		panic(fmt.Sprintf("program: no SpMM buffer for call %d column %d", callIdx, bj))
+	}
+	return b
+}

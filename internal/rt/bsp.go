@@ -1,0 +1,98 @@
+package rt
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/program"
+)
+
+// BSP is the bulk-synchronous baseline: each kernel (program call) executes
+// as a statically partitioned parallel loop, with a full barrier before the
+// next kernel starts. Row chains are assigned to workers round-robin with no
+// stealing, and cross-partition reductions run serially after the barrier —
+// the structure of the paper's libcsr/libcsb MKL baselines. The storage
+// format distinction (libcsr vs libcsb) is expressed by the program's block
+// size: a block of ceil(m/workers) rows models MKL's thread-level CSR
+// chunking, while solver-tuned CSB blocks model libcsb.
+type BSP struct {
+	opt   Options
+	epoch time.Time
+}
+
+// NewBSP returns the bulk-synchronous runtime.
+func NewBSP(opt Options) *BSP { return &BSP{opt: opt, epoch: time.Now()} }
+
+// Name implements Runtime.
+func (r *BSP) Name() string { return "bsp" }
+
+// Run implements Runtime.
+func (r *BSP) Run(g *graph.TDG, st *program.Store) {
+	nw := r.opt.workers()
+	body := taskBody(g, st, r.opt.Recorder, r.epoch)
+
+	// Group tasks by call, preserving id order (which is Q order within a
+	// row chain, so accumulation order is identical to the AMT runtimes').
+	byCall := make([][]int32, len(g.Prog.Calls))
+	for i := range g.Tasks {
+		c := g.Tasks[i].Call
+		byCall[c] = append(byCall[c], g.Tasks[i].ID)
+	}
+
+	for _, ids := range byCall {
+		if len(ids) == 0 {
+			continue
+		}
+		// Partition the call's tasks into per-row chains plus serial tasks.
+		chains := map[int32][]int32{}
+		var serial []int32
+		var parts []int32
+		for _, id := range ids {
+			p := g.Tasks[id].P
+			if p < 0 {
+				serial = append(serial, id)
+				continue
+			}
+			if _, ok := chains[p]; !ok {
+				parts = append(parts, p)
+			}
+			chains[p] = append(chains[p], id)
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+
+		// Static round-robin chain assignment: worker w owns chains
+		// w, w+nw, w+2nw, ... — OpenMP static-for semantics, so a single
+		// heavy chain (skewed nonzeros) stalls the barrier, the paper's BSP
+		// load-imbalance pathology.
+		var wg sync.WaitGroup
+		var panicOnce sync.Once
+		var panicVal any
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				defer func() {
+					if rec := recover(); rec != nil {
+						panicOnce.Do(func() { panicVal = rec })
+					}
+				}()
+				for k := w; k < len(parts); k += nw {
+					for _, id := range chains[parts[k]] {
+						body(w, id)
+					}
+				}
+			}(w)
+		}
+		wg.Wait() // the BSP barrier
+		if panicVal != nil {
+			panic(panicVal)
+		}
+
+		// Reductions and small steps run serially after the barrier.
+		for _, id := range serial {
+			body(0, id)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package rt
+
+import (
+	"time"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/program"
+	"sparsetask/internal/sched"
+)
+
+// DeepSparse is the OpenMP-task analog: the entire TDG is handed to a
+// dependency-counting executor; the master submits root tasks in depth-first
+// topological order (the order the TDG generator emits them) and workers use
+// LIFO local deques with work stealing, giving the depth-first, pipelined
+// execution OpenMP task scheduling exhibits in the paper.
+type DeepSparse struct {
+	opt   Options
+	epoch time.Time
+}
+
+// NewDeepSparse returns the OpenMP-task-style runtime.
+func NewDeepSparse(opt Options) *DeepSparse {
+	return &DeepSparse{opt: opt, epoch: time.Now()}
+}
+
+// Name implements Runtime.
+func (r *DeepSparse) Name() string { return "deepsparse" }
+
+// Run implements Runtime.
+func (r *DeepSparse) Run(g *graph.TDG, st *program.Store) {
+	body := taskBody(g, st, r.opt.Recorder, r.epoch)
+	sched.RunGraph(len(g.Tasks), indegrees(g),
+		func(i int32) []int32 { return g.Tasks[i].Succs },
+		g.Roots, body,
+		sched.Options{
+			Workers:    r.opt.workers(),
+			Discipline: sched.LIFO,
+		})
+}

@@ -1,0 +1,53 @@
+package rt
+
+import (
+	"time"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/program"
+	"sparsetask/internal/sched"
+)
+
+// HPX is the futures/dataflow analog: tasks become ready as their input
+// futures resolve and are drained FIFO with work stealing, yielding the
+// breadth-first, "shuffled" execution order the paper observes in HPX flow
+// graphs (Fig. 13). With NUMADomains > 1, ready tasks carry a locality hint
+// mapping their data partition to a domain and are routed to workers in that
+// domain — the scheduling-hint optimization that bought HPX ~50% on EPYC
+// (§5.1, "Other Attempts").
+type HPX struct {
+	opt   Options
+	epoch time.Time
+}
+
+// NewHPX returns the HPX-style runtime.
+func NewHPX(opt Options) *HPX { return &HPX{opt: opt, epoch: time.Now()} }
+
+// Name implements Runtime.
+func (r *HPX) Name() string { return "hpx" }
+
+// Run implements Runtime.
+func (r *HPX) Run(g *graph.TDG, st *program.Store) {
+	body := taskBody(g, st, r.opt.Recorder, r.epoch)
+	opt := sched.Options{
+		Workers:    r.opt.workers(),
+		Discipline: sched.FIFO,
+	}
+	if r.opt.NUMADomains > 1 {
+		dom := r.opt.NUMADomains
+		np := g.Prog.NP
+		opt.Domains = dom
+		opt.Affinity = func(t int32) int {
+			p := g.Tasks[t].P
+			if p < 0 {
+				return -1 // reductions have no single home partition
+			}
+			// Contiguous partition→domain map, mirroring first-touch page
+			// placement of block-partitioned vectors.
+			return int(int64(p) * int64(dom) / int64(np))
+		}
+	}
+	sched.RunGraph(len(g.Tasks), indegrees(g),
+		func(i int32) []int32 { return g.Tasks[i].Succs },
+		g.Roots, body, opt)
+}

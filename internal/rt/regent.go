@@ -1,0 +1,160 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/program"
+)
+
+// Regent is the region/privilege analog of the Regent/Legion runtime: a
+// serial dependence-analysis pipeline walks the tasks in program order,
+// spending per-task analysis work before a task may issue, and workers drain
+// a shared FIFO ready queue. Two Regent-specific mechanisms are modeled:
+//
+//   - index launches: calls marked IndexLaunch are analyzed as one batch, so
+//     per-task analysis is skipped after the first task of the call;
+//   - dynamic tracing: when enabled, re-executions of an already-analyzed
+//     TDG replay the memoized analysis at a fraction of the cost.
+//
+// The serial analysis pipeline is the mechanism behind the paper's
+// observation that Regent degrades sharply as task counts grow (§5.4,
+// "Regent has scaling issues with regard to creation or scheduling of large
+// number of tasks").
+type Regent struct {
+	opt   Options
+	epoch time.Time
+
+	mu       sync.Mutex
+	analyzed map[*graph.TDG]bool
+
+	// LastAnalyzed counts tasks that paid full analysis in the most recent
+	// Run, for tests and the ablation benches.
+	LastAnalyzed int
+}
+
+// defaultAnalysisCost is the spin-loop iteration count per analyzed task.
+// Calibrated so analysis is on the order of a microsecond per task: invisible
+// next to a coarse tile task, dominant when a matrix is over-decomposed into
+// tens of thousands of tiny tasks.
+const defaultAnalysisCost = 600
+
+// NewRegent returns the Regent-style runtime.
+func NewRegent(opt Options) *Regent {
+	return &Regent{opt: opt, epoch: time.Now(), analyzed: make(map[*graph.TDG]bool)}
+}
+
+// Name implements Runtime.
+func (r *Regent) Name() string { return "regent" }
+
+// Run implements Runtime.
+func (r *Regent) Run(g *graph.TDG, st *program.Store) {
+	nw := r.opt.workers()
+	body := taskBody(g, st, r.opt.Recorder, r.epoch)
+	n := len(g.Tasks)
+	if n == 0 {
+		return
+	}
+	cost := r.opt.AnalysisCost
+	if cost <= 0 {
+		cost = defaultAnalysisCost
+	}
+	replay := false
+	if r.opt.DynamicTracing {
+		r.mu.Lock()
+		replay = r.analyzed[g]
+		r.analyzed[g] = true
+		r.mu.Unlock()
+	}
+
+	// remain[i] = deps + 1: the extra count is released by the analysis
+	// pipeline when the task is issued, so no task starts before its
+	// program-order analysis completes — Legion semantics.
+	remain := make([]atomic.Int32, n)
+	for i := range g.Tasks {
+		remain[i].Store(int32(len(g.Tasks[i].Deps)) + 1)
+	}
+
+	ready := make(chan int32, n)
+	release := func(id int32) {
+		if remain[id].Add(-1) == 0 {
+			ready <- id
+		}
+	}
+
+	// Analysis pipeline: one goroutine, program order — the -ll:util core.
+	analyzedCount := 0
+	go func() {
+		var sink uint64
+		lastCall := int32(-1)
+		for i := 0; i < n; i++ {
+			t := &g.Tasks[i]
+			c := &g.Prog.Calls[t.Call]
+			full := true
+			if c.IndexLaunch && t.Call == lastCall {
+				full = false // batch-analyzed with the first task of the launch
+			}
+			if replay {
+				full = false // dynamic tracing: memoized replay
+			}
+			if full {
+				// Dependence analysis: hash over the task's region set,
+				// repeated to model Legion's region-tree walk.
+				work := cost * (1 + len(t.Reads) + len(t.Writes))
+				for k := 0; k < work; k++ {
+					sink = sink*0x9E3779B97F4A7C15 + uint64(t.ID) + uint64(k)
+				}
+				analyzedCount++
+			}
+			lastCall = t.Call
+			release(t.ID)
+		}
+		_ = sink
+	}()
+
+	var done atomic.Int64
+	done.Store(int64(n))
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	finished := make(chan struct{})
+	var closeOnce sync.Once
+	var panicMu sync.Mutex
+	var panicVal any
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = rec
+					}
+					panicMu.Unlock()
+					closeOnce.Do(func() { close(finished) })
+				}
+			}()
+			for {
+				select {
+				case id := <-ready:
+					body(w, id)
+					for _, s := range g.Tasks[id].Succs {
+						release(s)
+					}
+					if done.Add(-1) == 0 {
+						closeOnce.Do(func() { close(finished) })
+						return
+					}
+				case <-finished:
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.LastAnalyzed = analyzedCount
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,91 @@
+// Package rt implements the four runtime backends under evaluation, all
+// executing the *same* task-dependency graph with the same kernels and
+// differing only in scheduling — the paper's controlled-comparison setup:
+//
+//   - BSP: bulk-synchronous baseline (libcsr/libcsb analog) — static chunk
+//     assignment per kernel with a barrier between kernels, no stealing.
+//   - DeepSparse: OpenMP-task analog — whole-graph dependency counting,
+//     depth-first (LIFO) local queues with work stealing.
+//   - HPX: futures/dataflow analog — FIFO queues, work stealing, optional
+//     NUMA-domain-aware placement hints.
+//   - Regent: region/privilege analog — tasks issued in program order by a
+//     serial dependence-analysis pipeline with per-task analysis cost,
+//     batched for index launches and memoized under dynamic tracing.
+package rt
+
+import (
+	"runtime"
+	"time"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/kernels"
+	"sparsetask/internal/program"
+	"sparsetask/internal/trace"
+)
+
+// Options configure a runtime instance.
+type Options struct {
+	// Workers is the number of compute workers; 0 means GOMAXPROCS.
+	Workers int
+	// Recorder, when non-nil, receives one event per executed task.
+	Recorder *trace.Recorder
+	// NUMADomains enables domain-aware scheduling for the HPX backend when
+	// > 1 (the paper's scheduling-hint optimization, §5.1).
+	NUMADomains int
+	// AnalysisCost is the Regent dependence-analysis work per task, in
+	// spin-loop iterations. 0 selects a default calibrated to make analysis
+	// visible but not dominant at small task counts — the paper's observed
+	// Regent behavior.
+	AnalysisCost int
+	// DynamicTracing enables Regent's memoized task-graph replay (Lee et
+	// al., SC18): repeated executions of the same TDG skip most analysis.
+	DynamicTracing bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runtime executes TDGs. Run performs one full execution of the graph
+// (one solver iteration); iterative solvers call Run repeatedly with a
+// barrier between calls, as all three frameworks do in the paper.
+type Runtime interface {
+	Name() string
+	Run(g *graph.TDG, st *program.Store)
+}
+
+// epochNow returns nanoseconds since the runtime's epoch.
+func epochNow(epoch time.Time) int64 { return time.Since(epoch).Nanoseconds() }
+
+// taskBody returns the task execution closure, wrapping kernels.Exec with
+// trace recording when enabled.
+func taskBody(g *graph.TDG, st *program.Store, rec *trace.Recorder, epoch time.Time) func(w int, id int32) {
+	if rec == nil {
+		return func(w int, id int32) {
+			kernels.Exec(g, &g.Tasks[id], st)
+		}
+	}
+	return func(w int, id int32) {
+		t := &g.Tasks[id]
+		s := epochNow(epoch)
+		kernels.Exec(g, t, st)
+		e := epochNow(epoch)
+		rec.Record(w, trace.Event{
+			Task: id, Call: t.Call,
+			Kernel: g.Prog.Calls[t.Call].Name,
+			Start:  s, End: e,
+		})
+	}
+}
+
+// indegrees extracts the initial dependency counts of a TDG.
+func indegrees(g *graph.TDG) []int32 {
+	ind := make([]int32, len(g.Tasks))
+	for i := range g.Tasks {
+		ind[i] = int32(len(g.Tasks[i].Deps))
+	}
+	return ind
+}

@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Discipline selects the order a worker drains its own queue.
+type Discipline int
+
+const (
+	// LIFO pops the most recently produced task first: depth-first execution
+	// with strong producer-consumer cache locality. This is the OpenMP-task
+	// behavior DeepSparse relies on for pipelining.
+	LIFO Discipline = iota
+	// FIFO drains the oldest task first: breadth-first execution, closer to
+	// HPX's default queues, producing the "shuffled" execution flow graphs
+	// the paper shows in Fig. 13.
+	FIFO
+)
+
+// Options configure a graph execution.
+type Options struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Discipline is the local queue order.
+	Discipline Discipline
+	// Domains groups workers into locality domains (NUMA analog). Workers
+	// steal within their own domain before going cross-domain. 0 or 1
+	// disables domain awareness.
+	Domains int
+	// Affinity optionally maps a task to a preferred domain; newly ready
+	// tasks produced by a worker outside that domain are routed to a queue
+	// in the preferred domain (HPX scheduling-hint analog). Nil disables.
+	Affinity func(task int32) int
+	// InitialOrder optionally reorders root submission (DeepSparse submits
+	// in depth-first topological order). Nil keeps natural order.
+	InitialOrder []int32
+}
+
+// RunGraph executes a dependency graph: n tasks, indeg[i] initial dependency
+// counts (consumed destructively via an internal copy), succs(i) the
+// successor list, and exec the task body. It returns when all n tasks have
+// executed. exec is called exactly once per task, only after all its
+// predecessors completed.
+func RunGraph(n int, indeg []int32, succs func(int32) []int32, roots []int32, exec func(worker int, task int32), opt Options) {
+	if n == 0 {
+		return
+	}
+	nw := opt.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > n {
+		nw = n
+	}
+	dom := opt.Domains
+	if dom <= 1 {
+		dom = 1
+	}
+	if dom > nw {
+		dom = nw
+	}
+
+	e := &executor{
+		nw:     nw,
+		dom:    dom,
+		disc:   opt.Discipline,
+		succs:  succs,
+		exec:   exec,
+		opt:    opt,
+		deques: make([]*Deque, nw),
+		remain: make([]atomic.Int32, n),
+	}
+	for i := 0; i < nw; i++ {
+		e.deques[i] = NewDeque()
+	}
+	for i := 0; i < n; i++ {
+		e.remain[i].Store(indeg[i])
+	}
+	e.total.Store(int64(n))
+	e.cond = sync.NewCond(&e.mu)
+
+	order := roots
+	if opt.InitialOrder != nil {
+		order = opt.InitialOrder
+	}
+	// Distribute roots across workers (respecting affinity when set) so
+	// execution starts balanced; the stealing protocol handles the rest.
+	for k, t := range order {
+		w := k % nw
+		if opt.Affinity != nil {
+			w = e.domainWorker(opt.Affinity(t), t)
+		}
+		e.deques[w].Push(t)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				// A panicking task must not kill the worker silently (the
+				// pool would deadlock waiting for its tasks): capture the
+				// first panic, shut the pool down, and re-panic on the
+				// caller's goroutine below.
+				if r := recover(); r != nil {
+					e.abort(r)
+				}
+			}()
+			e.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	if e.panicVal != nil {
+		panic(e.panicVal)
+	}
+}
+
+type executor struct {
+	nw, dom  int
+	disc     Discipline
+	succs    func(int32) []int32
+	exec     func(int, int32)
+	opt      Options
+	deques   []*Deque
+	remain   []atomic.Int32
+	total    atomic.Int64 // tasks left to execute
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleep    int // workers currently parked
+	version  uint64
+	panicVal any // first task panic, re-raised by RunGraph
+}
+
+// abort records the first panic and releases every worker.
+func (e *executor) abort(v any) {
+	e.mu.Lock()
+	if e.panicVal == nil {
+		e.panicVal = v
+	}
+	e.version++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.total.Store(0) // workers observe <= 0 and exit
+}
+
+// domainWorker picks a deterministic worker inside a domain for a task.
+func (e *executor) domainWorker(d int, t int32) int {
+	if d < 0 {
+		d = 0
+	}
+	d %= e.dom
+	per := e.nw / e.dom
+	if per == 0 {
+		per = 1
+	}
+	return (d*per + int(t)%per) % e.nw
+}
+
+func (e *executor) domainOf(w int) int {
+	per := e.nw / e.dom
+	if per == 0 {
+		per = 1
+	}
+	d := w / per
+	if d >= e.dom {
+		d = e.dom - 1
+	}
+	return d
+}
+
+func (e *executor) take(w int) (int32, bool) {
+	// Own queue first, in the configured discipline.
+	if e.disc == LIFO {
+		if t, ok := e.deques[w].Pop(); ok {
+			return t, ok
+		}
+	} else {
+		if t, ok := e.deques[w].Steal(); ok {
+			return t, ok
+		}
+	}
+	// Steal: same-domain victims first, then everyone.
+	myDom := e.domainOf(w)
+	for pass := 0; pass < 2; pass++ {
+		start := rand.Intn(e.nw)
+		for k := 0; k < e.nw; k++ {
+			v := (start + k) % e.nw
+			if v == w {
+				continue
+			}
+			if pass == 0 && e.dom > 1 && e.domainOf(v) != myDom {
+				continue
+			}
+			if t, ok := e.deques[v].Steal(); ok {
+				return t, ok
+			}
+		}
+		if e.dom == 1 {
+			break // one pass covers everyone
+		}
+	}
+	return 0, false
+}
+
+func (e *executor) submit(w int, t int32) {
+	target := w
+	if e.opt.Affinity != nil {
+		if d := e.opt.Affinity(t); d >= 0 && e.domainOf(w) != d%e.dom {
+			target = e.domainWorker(d, t)
+		}
+	}
+	e.deques[target].Push(t)
+	e.wake()
+}
+
+func (e *executor) wake() {
+	e.mu.Lock()
+	e.version++
+	if e.sleep > 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+func (e *executor) worker(w int) {
+	spins := 0
+	for {
+		if e.total.Load() <= 0 {
+			return
+		}
+		t, ok := e.take(w)
+		if !ok {
+			spins++
+			if spins < 4 {
+				runtime.Gosched()
+				continue
+			}
+			// Park until new work arrives or everything finishes.
+			e.mu.Lock()
+			v := e.version
+			for {
+				if e.total.Load() <= 0 {
+					e.mu.Unlock()
+					return
+				}
+				if e.version != v {
+					break // new work was submitted; rescan
+				}
+				e.sleep++
+				e.cond.Wait()
+				e.sleep--
+			}
+			e.mu.Unlock()
+			spins = 0
+			continue
+		}
+		spins = 0
+		e.exec(w, t)
+		for _, s := range e.succs(t) {
+			if e.remain[s].Add(-1) == 0 {
+				e.submit(w, s)
+			}
+		}
+		if e.total.Add(-1) == 0 {
+			// Last task: wake every parked worker so they can exit.
+			e.mu.Lock()
+			e.version++
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+	}
+}

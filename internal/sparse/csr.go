@@ -1,0 +1,101 @@
+package sparse
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix: the storage used by the libcsr BSP
+// baseline and by the sequential reference kernels.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64 // len Rows+1
+	ColIdx     []int32 // len NNZ
+	V          []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.V) }
+
+// ToCSR converts a COO matrix (which is compacted first) to CSR.
+func (a *COO) ToCSR() *CSR {
+	a.Compact()
+	c := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: make([]int64, a.Rows+1),
+		ColIdx: make([]int32, len(a.V)),
+		V:      make([]float64, len(a.V)),
+	}
+	for _, i := range a.I {
+		c.RowPtr[i+1]++
+	}
+	for r := 0; r < a.Rows; r++ {
+		c.RowPtr[r+1] += c.RowPtr[r]
+	}
+	// Entries are sorted by (row, col) after Compact, so a straight copy
+	// preserves per-row column order.
+	copy(c.ColIdx, a.J)
+	copy(c.V, a.V)
+	return c
+}
+
+// ToCOO converts back to coordinate format.
+func (a *CSR) ToCOO() *COO {
+	o := NewCOO(a.Rows, a.Cols, a.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			o.Append(int32(i), a.ColIdx[p], a.V[p])
+		}
+	}
+	return o
+}
+
+// SpMV computes y = A·x. len(x) must be Cols and len(y) must be Rows.
+// This is the sequential reference kernel; the BSP and task runtimes use
+// their own partitioned variants.
+func (a *CSR) SpMV(y, x []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("sparse: SpMV shape mismatch: A is %dx%d, x %d, y %d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.V[p] * x[a.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// SpMM computes Y = A·X where X and Y are dense row-major blocks of vectors
+// with n columns: X is Cols×n, Y is Rows×n.
+func (a *CSR) SpMM(y, x []float64, n int) {
+	if len(x) != a.Cols*n || len(y) != a.Rows*n {
+		panic(fmt.Sprintf("sparse: SpMM shape mismatch: A is %dx%d, n=%d, len(x)=%d, len(y)=%d", a.Rows, a.Cols, n, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		yi := y[i*n : i*n+n]
+		for c := range yi {
+			yi[c] = 0
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			v := a.V[p]
+			xj := x[int(a.ColIdx[p])*n : int(a.ColIdx[p])*n+n]
+			for c := 0; c < n; c++ {
+				yi[c] += v * xj[c]
+			}
+		}
+	}
+}
+
+// RowNNZ returns the number of nonzeros in row i.
+func (a *CSR) RowNNZ(i int) int { return int(a.RowPtr[i+1] - a.RowPtr[i]) }
+
+// MaxRowNNZ returns the maximum per-row nonzero count; the paper's load
+// imbalance discussion is driven by this skew.
+func (a *CSR) MaxRowNNZ() int {
+	m := 0
+	for i := 0; i < a.Rows; i++ {
+		if n := a.RowNNZ(i); n > m {
+			m = n
+		}
+	}
+	return m
+}

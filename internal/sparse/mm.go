@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MatrixMarket I/O. Supports the "matrix coordinate real/pattern/integer
+// general/symmetric" subset, which covers every matrix class in the paper's
+// suite. Pattern entries get value 1.0 (callers typically follow with
+// FillRandom, as the paper does for binary matrices).
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream into COO.
+// Symmetric inputs are expanded to full storage.
+func ReadMatrixMarket(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	field, sym := header[3], header[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket field %q", field)
+	}
+	switch sym {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", sym)
+	}
+
+	// Skip comments, find the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket dimensions %dx%d", rows, cols)
+	}
+
+	hint := nnz
+	if sym == "symmetric" {
+		hint = 2 * nnz
+	}
+	a := NewCOO(rows, cols, hint)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("sparse: short MatrixMarket entry %q", line)
+		}
+		i64, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q: %v", f[0], err)
+		}
+		j64, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad col index %q: %v", f[1], err)
+		}
+		v := 1.0
+		if field != "pattern" {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q: %v", f[2], err)
+			}
+		}
+		i, j := int32(i64-1), int32(j64-1) // MatrixMarket is 1-based
+		a.Append(i, j, v)
+		if sym == "symmetric" && i != j {
+			a.Append(j, i, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: MatrixMarket declared %d entries, found %d", nnz, read)
+	}
+	return a, nil
+}
+
+// WriteMatrixMarket writes the matrix in "coordinate real general" form.
+func WriteMatrixMarket(w io.Writer, a *COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", a.Rows, a.Cols, a.NNZ()); err != nil {
+		return err
+	}
+	for k := range a.V {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", a.I[k]+1, a.J[k]+1, a.V[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

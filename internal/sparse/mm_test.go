@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.5
+2 1 -1
+3 3 4
+1 3 0.5
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || a.Cols != 3 || a.NNZ() != 4 {
+		t.Fatalf("got %dx%d nnz=%d", a.Rows, a.Cols, a.NNZ())
+	}
+	d := denseOf(a)
+	if d[0][0] != 2.5 || d[1][0] != -1 || d[2][2] != 4 || d[0][2] != 0.5 {
+		t.Fatalf("wrong values: %v", d)
+	}
+}
+
+func TestReadMatrixMarketSymmetricExpansion(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1
+2 1 5
+3 3 2
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 4 { // off-diagonal mirrored, diagonals not
+		t.Fatalf("NNZ = %d, want 4", a.NNZ())
+	}
+	if !a.IsSymmetric() {
+		t.Fatal("expanded matrix not symmetric")
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range a.V {
+		if v != 1.0 {
+			t.Fatalf("pattern value = %v, want 1", v)
+		}
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"badheader", "%%MatrixMarket matrix array real general\n2 2\n"},
+		{"badfield", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"},
+		{"badsym", "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n"},
+		{"short", "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n"},
+		{"badvalue", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 xyz\n"},
+		{"badindex", "%%MatrixMarket matrix coordinate real general\n1 1 1\nx 1 1.0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := randomCOO(rng, 25, 19, 0.15)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Compact()
+	if b.NNZ() != a.NNZ() {
+		t.Fatalf("round trip NNZ %d != %d", b.NNZ(), a.NNZ())
+	}
+	for k := range a.V {
+		if a.I[k] != b.I[k] || a.J[k] != b.J[k] || a.V[k] != b.V[k] {
+			t.Fatalf("entry %d mismatch", k)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RCM computes the reverse Cuthill–McKee ordering of a symmetric matrix: a
+// permutation that clusters nonzeros near the diagonal. Bandwidth reduction
+// concentrates CSB tiles on the diagonal band, which increases the fraction
+// of empty tiles that can be skipped and improves the locality of the
+// dependency-chained SpMV/SpMM task pipelines — the preprocessing that makes
+// the paper's CSB decomposition effective on irregular inputs.
+//
+// The returned slice maps new index → old index. Disconnected components are
+// handled by restarting from the minimum-degree unvisited vertex.
+func RCM(a *CSR) ([]int32, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: RCM requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	degree := make([]int32, n)
+	for i := 0; i < n; i++ {
+		degree[i] = int32(a.RowNNZ(i))
+	}
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+
+	// Vertices sorted by degree: restart points for each component.
+	byDegree := make([]int32, n)
+	for i := range byDegree {
+		byDegree[i] = int32(i)
+	}
+	sort.Slice(byDegree, func(x, y int) bool {
+		if degree[byDegree[x]] != degree[byDegree[y]] {
+			return degree[byDegree[x]] < degree[byDegree[y]]
+		}
+		return byDegree[x] < byDegree[y]
+	})
+	nextSeed := 0
+
+	var nbuf []int32
+	for len(order) < n {
+		// Find the next unvisited minimum-degree seed.
+		for nextSeed < n && visited[byDegree[nextSeed]] {
+			nextSeed++
+		}
+		seed := byDegree[nextSeed]
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			// Gather unvisited neighbors sorted by degree.
+			nbuf = nbuf[:0]
+			for p := a.RowPtr[v]; p < a.RowPtr[v+1]; p++ {
+				w := a.ColIdx[p]
+				if !visited[w] {
+					visited[w] = true
+					nbuf = append(nbuf, w)
+				}
+			}
+			sort.Slice(nbuf, func(x, y int) bool {
+				if degree[nbuf[x]] != degree[nbuf[y]] {
+					return degree[nbuf[x]] < degree[nbuf[y]]
+				}
+				return nbuf[x] < nbuf[y]
+			})
+			queue = append(queue, nbuf...)
+		}
+	}
+	// Reverse (the "R" in RCM).
+	perm := make([]int32, n)
+	for i, v := range order {
+		perm[n-1-i] = v
+	}
+	return perm, nil
+}
+
+// Permute applies a symmetric permutation to the matrix: entry (i,j) moves
+// to (p⁻¹(i), p⁻¹(j)) where perm maps new index → old index (the format RCM
+// returns). The result is a new COO matrix.
+func (a *COO) Permute(perm []int32) (*COO, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: Permute requires a square matrix")
+	}
+	if len(perm) != a.Rows {
+		return nil, fmt.Errorf("sparse: permutation length %d != dimension %d", len(perm), a.Rows)
+	}
+	inv := make([]int32, len(perm))
+	seen := make([]bool, len(perm))
+	for newIdx, oldIdx := range perm {
+		if oldIdx < 0 || int(oldIdx) >= len(perm) || seen[oldIdx] {
+			return nil, fmt.Errorf("sparse: invalid permutation at position %d", newIdx)
+		}
+		seen[oldIdx] = true
+		inv[oldIdx] = int32(newIdx)
+	}
+	out := NewCOO(a.Rows, a.Cols, a.NNZ())
+	for k := range a.V {
+		out.Append(inv[a.I[k]], inv[a.J[k]], a.V[k])
+	}
+	out.Compact()
+	return out, nil
+}
+
+// PermuteVector reorders a vector the same way Permute reorders matrix rows:
+// out[new] = in[perm[new]].
+func PermuteVector(in []float64, perm []int32) ([]float64, error) {
+	if len(in) != len(perm) {
+		return nil, fmt.Errorf("sparse: vector length %d != permutation length %d", len(in), len(perm))
+	}
+	out := make([]float64, len(in))
+	for newIdx, oldIdx := range perm {
+		out[newIdx] = in[oldIdx]
+	}
+	return out, nil
+}

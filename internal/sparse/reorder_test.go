@@ -1,0 +1,161 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shuffledBand builds a banded symmetric matrix and hides the band behind a
+// random relabeling, so RCM has real work to do.
+func shuffledBand(n, halfBand int, seed int64) *COO {
+	rng := rand.New(rand.NewSource(seed))
+	relabel := rng.Perm(n)
+	a := NewCOO(n, n, n*(2*halfBand+1))
+	for i := 0; i < n; i++ {
+		a.Append(int32(relabel[i]), int32(relabel[i]), 4)
+		for d := 1; d <= halfBand; d++ {
+			if j := i + d; j < n {
+				a.Append(int32(relabel[i]), int32(relabel[j]), -1)
+				a.Append(int32(relabel[j]), int32(relabel[i]), -1)
+			}
+		}
+	}
+	a.Compact()
+	return a
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	a := shuffledBand(300, 3, 1)
+	before := ComputeStats(a.ToCSR()).Bandwidth
+	perm, err := RCM(a.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ComputeStats(b.ToCSR()).Bandwidth
+	if after >= before/4 {
+		t.Fatalf("bandwidth %d -> %d: RCM should recover the hidden band", before, after)
+	}
+	// A band-3 matrix relabeled optimally has bandwidth close to 3.
+	if after > 12 {
+		t.Fatalf("bandwidth after RCM = %d, want near 3", after)
+	}
+}
+
+func TestRCMImprovesCSBTileOccupancy(t *testing.T) {
+	a := shuffledBand(512, 4, 2)
+	perm, err := RCM(a.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ComputeBlockFill(a, 32)
+	after := ComputeBlockFill(b, 32)
+	if after.NonEmpty >= before.NonEmpty {
+		t.Fatalf("non-empty tiles %d -> %d: RCM should concentrate tiles on the band",
+			before.NonEmpty, after.NonEmpty)
+	}
+}
+
+func TestPermuteIsSimilarityTransform(t *testing.T) {
+	// Permutation preserves symmetry and the multiset of row sums of |A|,
+	// and SpMV commutes with the permutation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		a := randomCOO(rng, n, n, 0.1)
+		a.Symmetrize()
+		perm := make([]int32, n)
+		for i, v := range rng.Perm(n) {
+			perm[i] = int32(v)
+		}
+		b, err := a.Permute(perm)
+		if err != nil {
+			return false
+		}
+		if !b.IsSymmetric() {
+			return false
+		}
+		// y_b(new) must equal y_a(perm[new]) for x_b = permuted x_a.
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		xb, err := PermuteVector(x, perm)
+		if err != nil {
+			return false
+		}
+		ya := make([]float64, n)
+		yb := make([]float64, n)
+		a.ToCSR().SpMV(ya, x)
+		b.ToCSR().SpMV(yb, xb)
+		for newIdx, oldIdx := range perm {
+			if math.Abs(yb[newIdx]-ya[oldIdx]) > 1e-10*(1+math.Abs(ya[oldIdx])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRCMHandlesDisconnectedComponents(t *testing.T) {
+	// Two disjoint chains.
+	a := NewCOO(10, 10, 20)
+	for i := 0; i < 4; i++ {
+		a.Append(int32(i), int32(i+1), 1)
+		a.Append(int32(i+1), int32(i), 1)
+	}
+	for i := 5; i < 9; i++ {
+		a.Append(int32(i), int32(i+1), 1)
+		a.Append(int32(i+1), int32(i), 1)
+	}
+	perm, err := RCM(a.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != 10 {
+		t.Fatalf("perm covers %d of 10 vertices", len(perm))
+	}
+	seen := map[int32]bool{}
+	for _, v := range perm {
+		if seen[v] {
+			t.Fatalf("vertex %d appears twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	a := NewCOO(3, 3, 1)
+	a.Append(0, 0, 1)
+	if _, err := a.Permute([]int32{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := a.Permute([]int32{0, 0, 2}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if _, err := a.Permute([]int32{0, 1, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+	rect := NewCOO(2, 3, 0)
+	if _, err := rect.Permute([]int32{0, 1}); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	if _, err := RCM(rect.ToCSR()); err == nil {
+		t.Error("RCM of rectangular matrix accepted")
+	}
+	if _, err := PermuteVector([]float64{1}, []int32{0, 1}); err == nil {
+		t.Error("mismatched vector length accepted")
+	}
+}

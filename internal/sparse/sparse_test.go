@@ -1,0 +1,365 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCOO builds a random rows×cols matrix with roughly density·rows·cols
+// entries (duplicates merged).
+func randomCOO(rng *rand.Rand, rows, cols int, density float64) *COO {
+	a := NewCOO(rows, cols, int(density*float64(rows*cols))+1)
+	n := int(density * float64(rows) * float64(cols))
+	for k := 0; k < n; k++ {
+		a.Append(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.NormFloat64())
+	}
+	a.Compact()
+	return a
+}
+
+func denseOf(a *COO) [][]float64 {
+	d := make([][]float64, a.Rows)
+	for i := range d {
+		d[i] = make([]float64, a.Cols)
+	}
+	for k := range a.V {
+		d[a.I[k]][a.J[k]] += a.V[k]
+	}
+	return d
+}
+
+func TestCompactMergesDuplicates(t *testing.T) {
+	a := NewCOO(3, 3, 4)
+	a.Append(1, 1, 2.0)
+	a.Append(1, 1, 3.0)
+	a.Append(0, 2, 1.0)
+	a.Append(2, 0, -1.0)
+	a.Compact()
+	if a.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", a.NNZ())
+	}
+	d := denseOf(a)
+	if d[1][1] != 5.0 {
+		t.Fatalf("merged value = %v, want 5", d[1][1])
+	}
+}
+
+func TestCompactSortsRowMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomCOO(rng, 50, 40, 0.1)
+	for k := 1; k < a.NNZ(); k++ {
+		if a.I[k] < a.I[k-1] || (a.I[k] == a.I[k-1] && a.J[k] <= a.J[k-1]) {
+			t.Fatalf("entry %d out of order: (%d,%d) after (%d,%d)", k, a.I[k], a.J[k], a.I[k-1], a.J[k-1])
+		}
+	}
+}
+
+func TestAppendOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range append")
+		}
+	}()
+	a := NewCOO(2, 2, 1)
+	a.Append(2, 0, 1.0)
+}
+
+func TestSymmetrizeMatchesDefinition(t *testing.T) {
+	// A_new = L + Lᵀ − D where L is the lower triangle including diagonal.
+	a := NewCOO(3, 3, 6)
+	a.Append(0, 0, 1)
+	a.Append(1, 0, 2)
+	a.Append(0, 1, 9) // upper entry must be discarded
+	a.Append(2, 1, 3)
+	a.Append(2, 2, 4)
+	a.Symmetrize()
+	d := denseOf(a)
+	want := [][]float64{{1, 2, 0}, {2, 0, 3}, {0, 3, 4}}
+	for i := range want {
+		for j := range want[i] {
+			if d[i][j] != want[i][j] {
+				t.Errorf("A[%d][%d] = %v, want %v", i, j, d[i][j], want[i][j])
+			}
+		}
+	}
+	if !a.IsSymmetric() {
+		t.Error("Symmetrize produced a non-symmetric matrix")
+	}
+}
+
+func TestSymmetrizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a := randomCOO(rng, n, n, 0.15)
+		a.Symmetrize()
+		return a.IsSymmetric()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetrizeRequiresSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square Symmetrize")
+		}
+	}()
+	NewCOO(2, 3, 0).Symmetrize()
+}
+
+func TestFillRandomPreservesSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCOO(rng, 30, 30, 0.2)
+	a.Symmetrize()
+	a.FillRandom(42)
+	if !a.IsSymmetric() {
+		t.Fatal("FillRandom broke symmetry")
+	}
+	for k, v := range a.V {
+		if v <= 0 || v > 1 {
+			t.Fatalf("entry %d value %v outside (0,1]", k, v)
+		}
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCOO(rng, 20, 20, 0.2)
+	b := a.Clone()
+	a.FillRandom(5)
+	b.FillRandom(5)
+	for k := range a.V {
+		if a.V[k] != b.V[k] {
+			t.Fatal("FillRandom is not deterministic for equal seeds")
+		}
+	}
+	b.FillRandom(6)
+	same := true
+	for k := range a.V {
+		if a.V[k] != b.V[k] {
+			same = false
+		}
+	}
+	if same && a.NNZ() > 0 {
+		t.Fatal("FillRandom ignored the seed")
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCOO(rng, 37, 23, 0.1)
+	c := a.ToCSR()
+	back := c.ToCOO()
+	back.Compact()
+	if back.NNZ() != a.NNZ() {
+		t.Fatalf("round trip NNZ %d != %d", back.NNZ(), a.NNZ())
+	}
+	for k := range a.V {
+		if a.I[k] != back.I[k] || a.J[k] != back.J[k] || a.V[k] != back.V[k] {
+			t.Fatalf("entry %d mismatch after round trip", k)
+		}
+	}
+}
+
+func TestSpMVMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomCOO(rng, 40, 31, 0.15)
+	c := a.ToCSR()
+	d := denseOf(a)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, a.Rows)
+	c.SpMV(y, x)
+	for i := 0; i < a.Rows; i++ {
+		var want float64
+		for j := 0; j < a.Cols; j++ {
+			want += d[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestSpMMMatchesSpMVPerColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomCOO(rng, 33, 29, 0.12)
+	c := a.ToCSR()
+	n := 4
+	x := make([]float64, a.Cols*n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, a.Rows*n)
+	c.SpMM(y, x, n)
+	// Check column col against SpMV.
+	for col := 0; col < n; col++ {
+		xc := make([]float64, a.Cols)
+		for i := 0; i < a.Cols; i++ {
+			xc[i] = x[i*n+col]
+		}
+		yc := make([]float64, a.Rows)
+		c.SpMV(yc, xc)
+		for i := 0; i < a.Rows; i++ {
+			if math.Abs(y[i*n+col]-yc[i]) > 1e-12*(1+math.Abs(yc[i])) {
+				t.Fatalf("SpMM col %d row %d = %v, want %v", col, i, y[i*n+col], yc[i])
+			}
+		}
+	}
+}
+
+func TestCSBRoundTripNNZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randomCOO(rng, 100, 100, 0.05)
+	for _, b := range []int{1, 3, 7, 16, 64, 100, 130} {
+		c := a.ToCSB(b)
+		if c.NNZ() != a.NNZ() {
+			t.Fatalf("block=%d: CSB NNZ %d != %d", b, c.NNZ(), a.NNZ())
+		}
+		total := 0
+		for bi := 0; bi < c.NBR; bi++ {
+			for bj := 0; bj < c.NBC; bj++ {
+				total += c.BlockNNZ(bi, bj)
+			}
+		}
+		if total != a.NNZ() {
+			t.Fatalf("block=%d: tile NNZ sum %d != %d", b, total, a.NNZ())
+		}
+	}
+}
+
+func TestCSBLocalIndicesInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randomCOO(rng, 90, 70, 0.08)
+	c := a.ToCSB(16)
+	for bi := 0; bi < c.NBR; bi++ {
+		for bj := 0; bj < c.NBC; bj++ {
+			k := c.BlockIndex(bi, bj)
+			r, cc := c.BlockDim(bi, bj)
+			for p := c.BlkPtr[k]; p < c.BlkPtr[k+1]; p++ {
+				if int(c.RI[p]) >= r || int(c.CI[p]) >= cc {
+					t.Fatalf("tile (%d,%d): local (%d,%d) outside %dx%d", bi, bj, c.RI[p], c.CI[p], r, cc)
+				}
+			}
+		}
+	}
+}
+
+func TestCSBSpMVMatchesCSR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 10 + rng.Intn(120)
+		cols := 10 + rng.Intn(120)
+		a := randomCOO(rng, rows, cols, 0.1)
+		block := 1 + rng.Intn(40)
+		csr := a.ToCSR()
+		csb := a.ToCSB(block)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, rows)
+		y2 := make([]float64, rows)
+		csr.SpMV(y1, x)
+		csb.SpMV(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-10*(1+math.Abs(y1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSBSpMMMatchesCSR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 10 + rng.Intn(80)
+		cols := 10 + rng.Intn(80)
+		n := 1 + rng.Intn(8)
+		a := randomCOO(rng, rows, cols, 0.1)
+		block := 1 + rng.Intn(30)
+		csr := a.ToCSR()
+		csb := a.ToCSB(block)
+		x := make([]float64, cols*n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, rows*n)
+		y2 := make([]float64, rows*n)
+		csr.SpMM(y1, x, n)
+		csb.SpMM(y2, x, n)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-10*(1+math.Abs(y1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSBBlockDimEdges(t *testing.T) {
+	a := NewCOO(10, 7, 1)
+	a.Append(9, 6, 1.0)
+	c := a.ToCSB(4)
+	if c.NBR != 3 || c.NBC != 2 {
+		t.Fatalf("NBR,NBC = %d,%d, want 3,2", c.NBR, c.NBC)
+	}
+	r, cc := c.BlockDim(2, 1)
+	if r != 2 || cc != 3 {
+		t.Fatalf("edge tile dim = %dx%d, want 2x3", r, cc)
+	}
+	if c.BlockNNZ(2, 1) != 1 {
+		t.Fatalf("edge tile nnz = %d, want 1", c.BlockNNZ(2, 1))
+	}
+}
+
+func TestNonEmptyBlocks(t *testing.T) {
+	a := NewCOO(8, 8, 3)
+	a.Append(0, 0, 1)
+	a.Append(0, 1, 1) // same tile as above for block=4
+	a.Append(7, 7, 1)
+	c := a.ToCSB(4)
+	if got := c.NonEmptyBlocks(); got != 2 {
+		t.Fatalf("NonEmptyBlocks = %d, want 2", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	a := NewCOO(4, 4, 5)
+	a.Append(0, 0, 1)
+	a.Append(0, 1, 1)
+	a.Append(0, 3, 1)
+	a.Append(2, 2, 1)
+	s := ComputeStats(a.ToCSR())
+	if s.NNZ != 4 || s.MaxRowNNZ != 3 || s.Bandwidth != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Imbalance-3.0) > 1e-15 {
+		t.Fatalf("imbalance = %v, want 3", s.Imbalance)
+	}
+}
+
+func TestComputeBlockFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randomCOO(rng, 64, 64, 0.05)
+	bf := ComputeBlockFill(a, 16)
+	if bf.BlockCount != 4 || bf.Total != 16 {
+		t.Fatalf("block fill = %+v", bf)
+	}
+	if bf.NonEmpty == 0 || bf.NonEmpty > 16 {
+		t.Fatalf("NonEmpty = %d out of range", bf.NonEmpty)
+	}
+}

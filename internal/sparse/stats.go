@@ -1,0 +1,83 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats summarizes the structural properties that drive the paper's analysis:
+// size, density, and the nonzero skew responsible for BSP load imbalance.
+type Stats struct {
+	Rows, Cols int
+	NNZ        int
+	AvgRowNNZ  float64
+	MaxRowNNZ  int
+	// Imbalance is MaxRowNNZ / AvgRowNNZ; ~1 for banded FEM matrices,
+	// hundreds-plus for power-law web/social graphs.
+	Imbalance float64
+	// Bandwidth is the maximum |i-j| over stored entries.
+	Bandwidth int
+}
+
+// ComputeStats scans a CSR matrix.
+func ComputeStats(a *CSR) Stats {
+	s := Stats{Rows: a.Rows, Cols: a.Cols, NNZ: a.NNZ()}
+	if a.Rows > 0 {
+		s.AvgRowNNZ = float64(a.NNZ()) / float64(a.Rows)
+	}
+	for i := 0; i < a.Rows; i++ {
+		n := a.RowNNZ(i)
+		if n > s.MaxRowNNZ {
+			s.MaxRowNNZ = n
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if b := int(math.Abs(float64(int32(i) - a.ColIdx[p]))); b > s.Bandwidth {
+				s.Bandwidth = b
+			}
+		}
+	}
+	if s.AvgRowNNZ > 0 {
+		s.Imbalance = float64(s.MaxRowNNZ) / s.AvgRowNNZ
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%dx%d nnz=%d avg/row=%.1f max/row=%d imb=%.1f bw=%d",
+		s.Rows, s.Cols, s.NNZ, s.AvgRowNNZ, s.MaxRowNNZ, s.Imbalance, s.Bandwidth)
+}
+
+// BlockFill summarizes how CSB tiling interacts with the pattern at a given
+// block size: the block-size selection heuristic (paper §5.4) trades the
+// number of non-empty tiles (parallelism, scheduling overhead) against tile
+// work granularity.
+type BlockFill struct {
+	Block          int
+	BlockCount     int // tiles per dimension (NBR)
+	NonEmpty       int
+	Total          int
+	MaxBlockNNZ    int
+	AvgPerNonEmpty float64
+}
+
+// ComputeBlockFill tiles the matrix and summarizes tile occupancy.
+func ComputeBlockFill(a *COO, block int) BlockFill {
+	c := a.ToCSB(block)
+	bf := BlockFill{Block: block, BlockCount: c.NBR, Total: c.NBR * c.NBC}
+	for bi := 0; bi < c.NBR; bi++ {
+		for bj := 0; bj < c.NBC; bj++ {
+			n := c.BlockNNZ(bi, bj)
+			if n == 0 {
+				continue
+			}
+			bf.NonEmpty++
+			if n > bf.MaxBlockNNZ {
+				bf.MaxBlockNNZ = n
+			}
+		}
+	}
+	if bf.NonEmpty > 0 {
+		bf.AvgPerNonEmpty = float64(a.NNZ()) / float64(bf.NonEmpty)
+	}
+	return bf
+}
