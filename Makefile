@@ -1,0 +1,37 @@
+# Development entry points. `make check` is the tier-1 gate every PR must
+# keep green (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: check fmt vet build test race fuzz smoke
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The serving layer and scheduler are the concurrency hot spots; they must
+# also pass under the race detector.
+race:
+	$(GO) test -race ./internal/server/... ./internal/sched/...
+
+# Short fuzz session for the MatrixMarket parser (regression seeds always run
+# as part of `make test`).
+fuzz:
+	$(GO) test -fuzz FuzzMatrixMarketRoundTrip -fuzztime 30s ./internal/sparse/
+
+# End-to-end serving smoke: build solverd + loadgen, serve, 10s of load.
+smoke:
+	./scripts/smoke.sh

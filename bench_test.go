@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -177,7 +178,7 @@ func benchRuntime(b *testing.B, r rt.Runtime) {
 	g, st := benchTDG(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Run(g, st)
+		r.Run(context.Background(), g, st)
 	}
 }
 
@@ -231,7 +232,7 @@ func TestBenchmarkHarnessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run(rt.NewDeepSparse(rt.Options{Workers: 2}), 1)
+	res, err := l.Run(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 2}), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

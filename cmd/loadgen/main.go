@@ -1,0 +1,227 @@
+// Command loadgen drives a running solverd with a closed-loop workload: each
+// of -c workers submits a job, polls it to a terminal state, and immediately
+// submits the next, for -d total. It reports throughput and latency
+// percentiles measured from submission to terminal state.
+//
+//	loadgen -addr localhost:8080 -c 4 -d 10s -mix lanczos=1,cg=1
+//
+// Exit status is non-zero if no job completes successfully.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+// mixEntry is one weighted solver in the -mix flag.
+type mixEntry struct {
+	solver string
+	weight int
+}
+
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		name, weightStr, found := strings.Cut(strings.TrimSpace(part), "=")
+		w := 1
+		if found {
+			var err error
+			if w, err = strconv.Atoi(weightStr); err != nil || w < 1 {
+				return nil, fmt.Errorf("bad weight in mix entry %q", part)
+			}
+		}
+		switch name {
+		case "lanczos", "lobpcg", "cg":
+		default:
+			return nil, fmt.Errorf("unknown solver %q in mix (want lanczos, lobpcg, cg)", name)
+		}
+		mix = append(mix, mixEntry{name, w})
+	}
+	return mix, nil
+}
+
+// pick returns the solver for the i-th job: deterministic round-robin
+// weighted by the mix, so runs are reproducible.
+func pick(mix []mixEntry, i int) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	i %= total
+	for _, m := range mix {
+		if i < m.weight {
+			return m.solver
+		}
+		i -= m.weight
+	}
+	return mix[0].solver
+}
+
+type stats struct {
+	mu        sync.Mutex
+	done      int
+	failed    int
+	canceled  int
+	rejected  int
+	latencies []time.Duration
+}
+
+func (s *stats) record(state string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch state {
+	case "done":
+		s.done++
+		s.latencies = append(s.latencies, d)
+	case "failed":
+		s.failed++
+	case "canceled":
+		s.canceled++
+	case "rejected":
+		s.rejected++
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "solverd host:port")
+	conc := flag.Int("c", 4, "closed-loop client concurrency")
+	dur := flag.Duration("d", 10*time.Second, "run duration")
+	mixFlag := flag.String("mix", "lanczos=1,cg=1", "job mix: solver=weight[,solver=weight...]")
+	backend := flag.String("backend", "deepsparse", "runtime backend for all jobs")
+	suite := flag.String("suite", "inline1", "matgen suite matrix name")
+	preset := flag.String("preset", "tiny", "matgen preset: tiny, small, medium")
+	seed := flag.Int64("seed", 1, "matrix + solver seed")
+	k := flag.Int("k", 4, "eigenpair count for lanczos/lobpcg jobs")
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		log.Fatalf("-mix: %v", err)
+	}
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Fail fast when solverd is not reachable.
+	if resp, err := client.Get(base + "/healthz"); err != nil {
+		log.Fatalf("solverd unreachable at %s: %v", base, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	var st stats
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(*dur)
+	var jobCounter int64
+	var counterMu sync.Mutex
+	nextJob := func() int {
+		counterMu.Lock()
+		defer counterMu.Unlock()
+		n := jobCounter
+		jobCounter++
+		return int(n)
+	}
+
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				solver := pick(mix, nextJob())
+				spec := map[string]any{
+					"solver":  solver,
+					"backend": *backend,
+					"matrix":  map[string]any{"suite": *suite, "preset": *preset, "seed": *seed},
+					"seed":    *seed,
+				}
+				if solver != "cg" {
+					spec["k"] = *k
+				}
+				body, _ := json.Marshal(spec)
+				submitted := time.Now()
+				resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					log.Printf("submit: %v", err)
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				var v jobView
+				code := resp.StatusCode
+				if code == http.StatusAccepted {
+					_ = json.NewDecoder(resp.Body).Decode(&v)
+				}
+				resp.Body.Close()
+				if code == http.StatusTooManyRequests {
+					st.record("rejected", 0)
+					time.Sleep(20 * time.Millisecond) // back off, queue is full
+					continue
+				}
+				if code != http.StatusAccepted {
+					log.Printf("submit: unexpected status %d", code)
+					continue
+				}
+				// Closed loop: poll this job to a terminal state before
+				// submitting the next one.
+				for {
+					resp, err := client.Get(base + "/jobs/" + v.ID)
+					if err != nil {
+						log.Printf("poll %s: %v", v.ID, err)
+						break
+					}
+					_ = json.NewDecoder(resp.Body).Decode(&v)
+					resp.Body.Close()
+					if terminal(v.State) {
+						st.record(v.State, time.Since(submitted))
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+	throughput := float64(st.done) / elapsed.Seconds()
+	fmt.Printf("loadgen: %d done, %d failed, %d canceled, %d rejected in %s\n",
+		st.done, st.failed, st.canceled, st.rejected, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.2f jobs/s\n", throughput)
+	fmt.Printf("latency: p50=%s p90=%s p99=%s\n",
+		percentile(st.latencies, 0.50).Round(time.Microsecond),
+		percentile(st.latencies, 0.90).Round(time.Microsecond),
+		percentile(st.latencies, 0.99).Round(time.Microsecond))
+
+	if st.done == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no jobs completed successfully")
+		os.Exit(1)
+	}
+}

@@ -62,7 +62,13 @@ func main() {
 	} else {
 		e, err := bench.ByID(*expID)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(os.Stderr, "sparsebench: unknown experiment %q\n", *expID)
+			fmt.Fprintln(os.Stderr, "valid experiment ids:")
+			for _, known := range bench.All() {
+				fmt.Fprintf(os.Stderr, "  %-10s %-9s %s\n", known.ID, known.Paper, known.Desc)
+			}
+			fmt.Fprintln(os.Stderr, "  all        (run every experiment)")
+			os.Exit(2)
 		}
 		exps = []bench.Experiment{e}
 	}

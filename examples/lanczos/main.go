@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -40,7 +41,7 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		res, err := l.Run(r, 3)
+		res, err := l.Run(context.Background(), r, 3)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -91,7 +92,7 @@ func main() {
 		log.Fatal(err)
 	}
 	l.Tol = 1e-6
-	res, err := l.Run(rt.NewDeepSparse(rt.Options{}), 1, 0)
+	res, err := l.Run(context.Background(), rt.NewDeepSparse(rt.Options{}), 1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 		log.Fatal(err)
 	}
 	l.Tol = 1e-6
-	res, err := l.Run(rt.NewHPX(rt.Options{}), 1, 0)
+	res, err := l.Run(context.Background(), rt.NewHPX(rt.Options{}), 1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -28,8 +29,13 @@ func NewBSP(opt Options) *BSP { return &BSP{opt: opt, epoch: time.Now()} }
 // Name implements Runtime.
 func (r *BSP) Name() string { return "bsp" }
 
-// Run implements Runtime.
-func (r *BSP) Run(g *graph.TDG, st *program.Store) {
+// Run implements Runtime. Cancellation is observed at the chain/barrier
+// granularity: workers stop picking up chains, the current barrier drains,
+// and Run returns ctx's error without starting the next kernel.
+func (r *BSP) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nw := r.opt.workers()
 	body := taskBody(g, st, r.opt.Recorder, r.epoch)
 
@@ -42,6 +48,9 @@ func (r *BSP) Run(g *graph.TDG, st *program.Store) {
 	}
 
 	for _, ids := range byCall {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if len(ids) == 0 {
 			continue
 		}
@@ -79,6 +88,9 @@ func (r *BSP) Run(g *graph.TDG, st *program.Store) {
 					}
 				}()
 				for k := w; k < len(parts); k += nw {
+					if ctx.Err() != nil {
+						return
+					}
 					for _, id := range chains[parts[k]] {
 						body(w, id)
 					}
@@ -89,10 +101,14 @@ func (r *BSP) Run(g *graph.TDG, st *program.Store) {
 		if panicVal != nil {
 			panic(panicVal)
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 
 		// Reductions and small steps run serially after the barrier.
 		for _, id := range serial {
 			body(0, id)
 		}
 	}
+	return nil
 }

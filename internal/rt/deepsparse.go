@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"time"
 
 	"sparsetask/internal/graph"
@@ -27,9 +28,9 @@ func NewDeepSparse(opt Options) *DeepSparse {
 func (r *DeepSparse) Name() string { return "deepsparse" }
 
 // Run implements Runtime.
-func (r *DeepSparse) Run(g *graph.TDG, st *program.Store) {
+func (r *DeepSparse) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
 	body := taskBody(g, st, r.opt.Recorder, r.epoch)
-	sched.RunGraph(len(g.Tasks), indegrees(g),
+	return sched.RunGraph(ctx, len(g.Tasks), indegrees(g),
 		func(i int32) []int32 { return g.Tasks[i].Succs },
 		g.Roots, body,
 		sched.Options{

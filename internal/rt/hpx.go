@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"time"
 
 	"sparsetask/internal/graph"
@@ -27,7 +28,7 @@ func NewHPX(opt Options) *HPX { return &HPX{opt: opt, epoch: time.Now()} }
 func (r *HPX) Name() string { return "hpx" }
 
 // Run implements Runtime.
-func (r *HPX) Run(g *graph.TDG, st *program.Store) {
+func (r *HPX) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
 	body := taskBody(g, st, r.opt.Recorder, r.epoch)
 	opt := sched.Options{
 		Workers:    r.opt.workers(),
@@ -47,7 +48,7 @@ func (r *HPX) Run(g *graph.TDG, st *program.Store) {
 			return int(int64(p) * int64(dom) / int64(np))
 		}
 	}
-	sched.RunGraph(len(g.Tasks), indegrees(g),
+	return sched.RunGraph(ctx, len(g.Tasks), indegrees(g),
 		func(i int32) []int32 { return g.Tasks[i].Succs },
 		g.Roots, body, opt)
 }

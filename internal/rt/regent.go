@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,7 +32,8 @@ type Regent struct {
 	analyzed map[*graph.TDG]bool
 
 	// LastAnalyzed counts tasks that paid full analysis in the most recent
-	// Run, for tests and the ablation benches.
+	// Run, for tests and the ablation benches. Guarded by mu during Run;
+	// read it only after Run returns.
 	LastAnalyzed int
 }
 
@@ -49,13 +51,17 @@ func NewRegent(opt Options) *Regent {
 // Name implements Runtime.
 func (r *Regent) Name() string { return "regent" }
 
-// Run implements Runtime.
-func (r *Regent) Run(g *graph.TDG, st *program.Store) {
+// Run implements Runtime. Cancellation stops both the analysis pipeline and
+// the workers at task granularity.
+func (r *Regent) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nw := r.opt.workers()
 	body := taskBody(g, st, r.opt.Recorder, r.epoch)
 	n := len(g.Tasks)
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	cost := r.opt.AnalysisCost
 	if cost <= 0 {
@@ -85,11 +91,18 @@ func (r *Regent) Run(g *graph.TDG, st *program.Store) {
 	}
 
 	// Analysis pipeline: one goroutine, program order — the -ll:util core.
-	analyzedCount := 0
+	// It reports its full-analysis count over the channel so Run never reads
+	// a variable the goroutine may still be writing (workers can exit early
+	// on panic or cancellation while analysis is mid-flight).
+	analysisDone := make(chan int, 1)
 	go func() {
 		var sink uint64
+		analyzedCount := 0
 		lastCall := int32(-1)
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			t := &g.Tasks[i]
 			c := &g.Prog.Calls[t.Call]
 			full := true
@@ -112,6 +125,7 @@ func (r *Regent) Run(g *graph.TDG, st *program.Store) {
 			release(t.ID)
 		}
 		_ = sink
+		analysisDone <- analyzedCount
 	}()
 
 	var done atomic.Int64
@@ -122,6 +136,12 @@ func (r *Regent) Run(g *graph.TDG, st *program.Store) {
 	var closeOnce sync.Once
 	var panicMu sync.Mutex
 	var panicVal any
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			closeOnce.Do(func() { close(finished) })
+		})
+		defer stop()
+	}
 	for w := 0; w < nw; w++ {
 		go func(w int) {
 			defer wg.Done()
@@ -153,8 +173,15 @@ func (r *Regent) Run(g *graph.TDG, st *program.Store) {
 		}(w)
 	}
 	wg.Wait()
-	r.LastAnalyzed = analyzedCount
+	la := <-analysisDone // analysis loop is finite: ctx check or full walk
+	r.mu.Lock()
+	r.LastAnalyzed = la
+	r.mu.Unlock()
 	if panicVal != nil {
 		panic(panicVal)
 	}
+	if done.Load() != 0 {
+		return ctx.Err()
+	}
+	return nil
 }

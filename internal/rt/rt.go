@@ -14,6 +14,7 @@
 package rt
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -52,9 +53,19 @@ func (o Options) workers() int {
 // Runtime executes TDGs. Run performs one full execution of the graph
 // (one solver iteration); iterative solvers call Run repeatedly with a
 // barrier between calls, as all three frameworks do in the paper.
+//
+// Run returns nil after every task executed, or ctx's error when the
+// context is cancelled mid-run. Cancellation is observed at task
+// granularity: in-flight kernels finish, no new task starts, and the
+// store is left partially updated — callers must discard it. A nil ctx
+// behaves like context.Background().
+//
+// Implementations are safe for concurrent Run calls from multiple
+// goroutines as long as each call uses its own TDG and store — the
+// serving layer's access pattern (one Runtime per backend, many jobs).
 type Runtime interface {
 	Name() string
-	Run(g *graph.TDG, st *program.Store)
+	Run(ctx context.Context, g *graph.TDG, st *program.Store) error
 }
 
 // epochNow returns nanoseconds since the runtime's epoch.

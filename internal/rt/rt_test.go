@@ -1,9 +1,15 @@
 package rt
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sparsetask/internal/graph"
 	"sparsetask/internal/kernels"
@@ -120,7 +126,7 @@ func TestAllRuntimesMatchSequential(t *testing.T) {
 	kernels.RunSequential(g, ref)
 	for _, r := range allRuntimes(Options{Workers: 4}) {
 		st := mk()
-		r.Run(g, st)
+		r.Run(context.Background(), g, st)
 		storesEqual(t, r.Name(), ref, st)
 	}
 }
@@ -137,7 +143,7 @@ func TestRuntimesRepeatedIterations(t *testing.T) {
 	for _, r := range allRuntimes(Options{Workers: 3}) {
 		st := mk()
 		for it := 0; it < 5; it++ {
-			r.Run(g, st)
+			r.Run(context.Background(), g, st)
 		}
 		storesEqual(t, r.Name(), ref, st)
 	}
@@ -149,14 +155,14 @@ func TestHPXNUMADomains(t *testing.T) {
 	kernels.RunSequential(g, ref)
 	r := NewHPX(Options{Workers: 4, NUMADomains: 2})
 	st := mk()
-	r.Run(g, st)
+	r.Run(context.Background(), g, st)
 	storesEqual(t, "hpx-numa", ref, st)
 }
 
 func TestRegentIndexLaunchSkipsAnalysis(t *testing.T) {
 	g, mk := testProblem(t, 60, 6, 2, 4)
 	r := NewRegent(Options{Workers: 2, AnalysisCost: 10})
-	r.Run(g, mk())
+	r.Run(context.Background(), g, mk())
 	withIL := r.LastAnalyzed
 	if withIL >= len(g.Tasks) {
 		t.Errorf("analyzed %d of %d tasks; index launch should have skipped some", withIL, len(g.Tasks))
@@ -172,9 +178,9 @@ func TestRegentDynamicTracing(t *testing.T) {
 	g, mk := testProblem(t, 40, 8, 2, 5)
 	r := NewRegent(Options{Workers: 2, AnalysisCost: 10, DynamicTracing: true})
 	st := mk()
-	r.Run(g, st)
+	r.Run(context.Background(), g, st)
 	first := r.LastAnalyzed
-	r.Run(g, st)
+	r.Run(context.Background(), g, st)
 	if r.LastAnalyzed != 0 {
 		t.Errorf("replay analyzed %d tasks, want 0 (memoized)", r.LastAnalyzed)
 	}
@@ -198,7 +204,7 @@ func TestTraceRecorderCapturesAllTasks(t *testing.T) {
 		g, mk := testProblem(t, 40, 8, 2, 6)
 		rec := trace.NewRecorder(3)
 		r := mkrt(Options{Workers: 3, Recorder: rec})
-		r.Run(g, mk())
+		r.Run(context.Background(), g, mk())
 		evs := rec.Events()
 		if len(evs) != len(g.Tasks) {
 			t.Errorf("%s: recorded %d events, want %d", r.Name(), len(evs), len(g.Tasks))
@@ -220,7 +226,7 @@ func TestBSPBarrierOrdering(t *testing.T) {
 	g, mk := testProblem(t, 60, 6, 2, 7)
 	rec := trace.NewRecorder(4)
 	r := NewBSP(Options{Workers: 4, Recorder: rec})
-	r.Run(g, mk())
+	r.Run(context.Background(), g, mk())
 	evs := rec.Events()
 	// End of the last event of call c must precede start of first of c+1...
 	// except serial tasks share worker time; compare per call boundaries.
@@ -251,7 +257,7 @@ func TestScaleInvProducesUnitNorm(t *testing.T) {
 	g, mk := testProblem(t, 60, 13, 3, 8)
 	r := NewDeepSparse(Options{Workers: 4})
 	st := mk()
-	r.Run(g, st)
+	r.Run(context.Background(), g, st)
 	// W = Y/||Y|| so ||W|| == 1.
 	var s float64
 	for _, v := range st.Vec[7] { // W is operand 7 in construction order
@@ -291,12 +297,129 @@ func TestTaskPanicPropagatesToCaller(t *testing.T) {
 					t.Errorf("%s: panic value %v, want kaboom", r.Name(), rec)
 				}
 			}()
-			r.Run(g, st)
+			r.Run(context.Background(), g, st)
 		}()
 	}
 	// The process must remain healthy: a fresh run on a healthy graph works.
 	g, mk := testProblem(t, 40, 8, 2, 99)
 	for _, r := range allRuntimes(Options{Workers: 3}) {
-		r.Run(g, mk())
+		r.Run(context.Background(), g, mk())
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	// A context cancelled before Run starts must stop every runtime without
+	// executing the full graph.
+	for _, r := range allRuntimes(Options{Workers: 3}) {
+		g, mk := testProblem(t, 60, 6, 2, 21)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := r.Run(ctx, g, mk()); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Run with pre-cancelled ctx returned %v, want context.Canceled", r.Name(), err)
+		}
+	}
+}
+
+func TestRunMidExecutionCancellation(t *testing.T) {
+	// Cancel from inside a running task: a serial chain of small steps where
+	// step 2 cancels the context. Every runtime must stop short of the end of
+	// the chain and report the context error. The post-cancel steps sleep a
+	// little so the shutdown path has time to land even on a loaded machine.
+	for _, mkrt := range []func(Options) Runtime{
+		func(o Options) Runtime { return NewBSP(o) },
+		func(o Options) Runtime { return NewDeepSparse(o) },
+		func(o Options) Runtime { return NewHPX(o) },
+		func(o Options) Runtime { return NewRegent(o) },
+	} {
+		r := mkrt(Options{Workers: 3})
+		ctx, cancel := context.WithCancel(context.Background())
+		const steps = 32
+		var ran atomic.Int32
+		p := program.New(16, 4)
+		s := p.Scalar("s")
+		x := p.Vec("x", 1)
+		p.Dot(s, x, x)
+		for i := 0; i < steps; i++ {
+			i := i
+			p.SmallStep(fmt.Sprintf("step%d", i), func(*program.Store) {
+				ran.Add(1)
+				if i == 2 {
+					cancel()
+					time.Sleep(100 * time.Millisecond)
+				} else if i > 2 {
+					time.Sleep(5 * time.Millisecond)
+				}
+			}, []program.OperandID{s}, []program.OperandID{s})
+		}
+		g, err := graph.Build(p, nil, graph.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = r.Run(ctx, g, program.NewStore(p))
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Run returned %v, want context.Canceled", r.Name(), err)
+		}
+		if n := ran.Load(); n >= steps {
+			t.Errorf("%s: all %d steps ran despite mid-execution cancel", r.Name(), n)
+		}
+	}
+}
+
+func TestConcurrentRunSingleRuntimeInstance(t *testing.T) {
+	// The serving layer's access pattern: one Runtime instance per backend,
+	// shared by many concurrently executing jobs, each with its own TDG and
+	// store. Must be clean under -race and numerically identical to the
+	// sequential reference for every job.
+	const jobs = 6
+	for _, r := range allRuntimes(Options{Workers: 2}) {
+		// Regent with tracing exercises its shared analyzed-map state too.
+		graphs := make([]*graph.TDG, jobs)
+		refs := make([]*program.Store, jobs)
+		stores := make([]*program.Store, jobs)
+		for j := 0; j < jobs; j++ {
+			g, mk := testProblem(t, 40, 8, 2, int64(100+j))
+			graphs[j] = g
+			refs[j] = mk()
+			kernels.RunSequential(g, refs[j])
+			stores[j] = mk()
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, jobs)
+		for j := 0; j < jobs; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				errs[j] = r.Run(context.Background(), graphs[j], stores[j])
+			}(j)
+		}
+		wg.Wait()
+		for j := 0; j < jobs; j++ {
+			if errs[j] != nil {
+				t.Fatalf("%s: job %d: %v", r.Name(), j, errs[j])
+			}
+			storesEqual(t, fmt.Sprintf("%s-job%d", r.Name(), j), refs[j], stores[j])
+		}
+	}
+	// Regent's per-TDG memoization state under concurrent reuse.
+	r := NewRegent(Options{Workers: 2, DynamicTracing: true, AnalysisCost: 10})
+	g, mk := testProblem(t, 40, 8, 2, 200)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Distinct graphs per goroutine would be the server pattern; the
+			// same graph from many goroutines additionally stresses the
+			// analyzed-map bookkeeping, so build a private problem per job.
+			g2, mk2 := testProblem(t, 30, 6, 2, 201)
+			if err := r.Run(context.Background(), g2, mk2()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.Run(context.Background(), g, mk()); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -42,12 +43,23 @@ type Options struct {
 
 // RunGraph executes a dependency graph: n tasks, indeg[i] initial dependency
 // counts (consumed destructively via an internal copy), succs(i) the
-// successor list, and exec the task body. It returns when all n tasks have
-// executed. exec is called exactly once per task, only after all its
+// successor list, and exec the task body. It returns nil when all n tasks
+// have executed. exec is called at most once per task, only after all its
 // predecessors completed.
-func RunGraph(n int, indeg []int32, succs func(int32) []int32, roots []int32, exec func(worker int, task int32), opt Options) {
+//
+// Cancelling ctx stops the pool at task granularity: in-flight tasks finish,
+// no new task starts, and RunGraph returns ctx's error. The caller's data is
+// then partially updated and must be treated as poisoned. A nil ctx behaves
+// like context.Background().
+func RunGraph(ctx context.Context, n int, indeg []int32, succs func(int32) []int32, roots []int32, exec func(worker int, task int32), opt Options) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n == 0 {
-		return
+		return nil
 	}
 	nw := opt.Workers
 	if nw <= 0 {
@@ -97,6 +109,13 @@ func RunGraph(n int, indeg []int32, succs func(int32) []int32, roots []int32, ex
 		e.deques[w].Push(t)
 	}
 
+	// Cancellation shuts the pool down exactly like a panic, minus the
+	// re-panic: workers observe total <= 0 and drain out.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { e.halt() })
+		defer stop()
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(nw)
 	for w := 0; w < nw; w++ {
@@ -118,6 +137,11 @@ func RunGraph(n int, indeg []int32, succs func(int32) []int32, roots []int32, ex
 	if e.panicVal != nil {
 		panic(e.panicVal)
 	}
+	if e.executed.Load() != int64(n) {
+		// The only non-panic way to stop short is cancellation.
+		return ctx.Err()
+	}
+	return nil
 }
 
 type executor struct {
@@ -129,6 +153,7 @@ type executor struct {
 	deques   []*Deque
 	remain   []atomic.Int32
 	total    atomic.Int64 // tasks left to execute
+	executed atomic.Int64 // tasks actually run (diverges from n on cancel)
 	mu       sync.Mutex
 	cond     *sync.Cond
 	sleep    int // workers currently parked
@@ -146,6 +171,15 @@ func (e *executor) abort(v any) {
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	e.total.Store(0) // workers observe <= 0 and exit
+}
+
+// halt releases every worker without recording a panic (cancellation path).
+func (e *executor) halt() {
+	e.mu.Lock()
+	e.version++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.total.Store(0)
 }
 
 // domainWorker picks a deterministic worker inside a domain for a task.
@@ -261,6 +295,7 @@ func (e *executor) worker(w int) {
 		}
 		spins = 0
 		e.exec(w, t)
+		e.executed.Add(1)
 		for _, s := range e.succs(t) {
 			if e.remain[s].Add(-1) == 0 {
 				e.submit(w, s)

@@ -1,11 +1,14 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestDequeSequential(t *testing.T) {
@@ -130,7 +133,7 @@ func TestRunGraphExecutesAllOnce(t *testing.T) {
 		n, indeg, succs, roots := chainGraph(17, 23)
 		var count atomic.Int64
 		ran := make([]atomic.Int32, n)
-		RunGraph(n, indeg, func(i int32) []int32 { return succs[i] }, roots,
+		RunGraph(context.Background(), n, indeg, func(i int32) []int32 { return succs[i] }, roots,
 			func(w int, task int32) {
 				ran[task].Add(1)
 				count.Add(1)
@@ -176,7 +179,7 @@ func TestRunGraphRespectsDependencies(t *testing.T) {
 	}
 	finished := make([]atomic.Bool, n)
 	var bad atomic.Int32
-	RunGraph(n, indeg, func(i int32) []int32 { return succs[i] }, roots,
+	RunGraph(context.Background(), n, indeg, func(i int32) []int32 { return succs[i] }, roots,
 		func(w int, task int32) {
 			for _, d := range deps[task] {
 				if !finished[d].Load() {
@@ -193,7 +196,7 @@ func TestRunGraphRespectsDependencies(t *testing.T) {
 func TestRunGraphSingleWorker(t *testing.T) {
 	n, indeg, succs, roots := chainGraph(3, 5)
 	order := []int32{}
-	RunGraph(n, indeg, func(i int32) []int32 { return succs[i] }, roots,
+	RunGraph(context.Background(), n, indeg, func(i int32) []int32 { return succs[i] }, roots,
 		func(w int, task int32) {
 			if w != 0 {
 				t.Errorf("worker %d used, want only 0", w)
@@ -210,7 +213,7 @@ func TestRunGraphDomains(t *testing.T) {
 	// completes and runs each task once.
 	n, indeg, succs, roots := chainGraph(8, 10)
 	var count atomic.Int64
-	RunGraph(n, indeg, func(i int32) []int32 { return succs[i] }, roots,
+	RunGraph(context.Background(), n, indeg, func(i int32) []int32 { return succs[i] }, roots,
 		func(w int, task int32) { count.Add(1) },
 		Options{Workers: 4, Domains: 2, Affinity: func(t int32) int { return 1 }})
 	if count.Load() != int64(n) {
@@ -227,7 +230,7 @@ func TestRunGraphInitialOrder(t *testing.T) {
 		rev[len(roots)-1-i] = r
 	}
 	var count atomic.Int64
-	RunGraph(n, indeg, func(i int32) []int32 { return succs[i] }, roots,
+	RunGraph(context.Background(), n, indeg, func(i int32) []int32 { return succs[i] }, roots,
 		func(w int, task int32) { count.Add(1) },
 		Options{Workers: 2, InitialOrder: rev})
 	if count.Load() != int64(n) {
@@ -236,7 +239,7 @@ func TestRunGraphInitialOrder(t *testing.T) {
 }
 
 func TestRunGraphEmpty(t *testing.T) {
-	RunGraph(0, nil, nil, nil, nil, Options{}) // must not hang or panic
+	RunGraph(context.Background(), 0, nil, nil, nil, nil, Options{}) // must not hang or panic
 }
 
 // TestDequeModelCheck verifies the deque against a reference slice model
@@ -289,5 +292,55 @@ func TestDequeModelCheck(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunGraphCancellation(t *testing.T) {
+	// Pre-cancelled context: nothing runs, the context error is returned.
+	n := 8
+	indeg := make([]int32, n)
+	succs := make([][]int32, n)
+	for i := 0; i < n-1; i++ {
+		succs[i] = []int32{int32(i + 1)}
+		indeg[i+1] = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var count atomic.Int64
+	err := RunGraph(ctx, n, indeg, func(i int32) []int32 { return succs[i] }, []int32{0},
+		func(w int, task int32) { count.Add(1) }, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if count.Load() != 0 {
+		t.Fatalf("executed %d tasks under a pre-cancelled context", count.Load())
+	}
+
+	// Cancel mid-chain: task 2 cancels, later tasks sleep so the shutdown
+	// lands; the tail of the chain must not execute.
+	indeg2 := make([]int32, n)
+	copy(indeg2, indeg)
+	indeg2[0] = 0
+	for i := 1; i < n; i++ {
+		indeg2[i] = 1
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var ran atomic.Int64
+	err = RunGraph(ctx2, n, indeg2, func(i int32) []int32 { return succs[i] }, []int32{0},
+		func(w int, task int32) {
+			ran.Add(1)
+			if task == 2 {
+				cancel2()
+				time.Sleep(100 * time.Millisecond)
+			} else if task > 2 {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-chain err = %v, want context.Canceled", err)
+	}
+	if ran.Load() >= int64(n) {
+		t.Fatalf("all %d tasks ran despite mid-chain cancel", ran.Load())
 	}
 }

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sparsetask/internal/autotune"
+	"sparsetask/internal/rt"
+	"sparsetask/internal/solver"
+	"sparsetask/internal/sparse"
+)
+
+// Cost-model constants for the analytic autotune evaluator. Only relative
+// costs across block counts matter for picking a bin, so rough host-scale
+// numbers suffice: ~1 flop/ns sustained and ~500 ns of scheduling overhead
+// per task.
+const (
+	tuneFlopsPerNs = 1.0
+	tuneOverheadNs = 500.0
+	defaultSolverK = 6
+	defaultJobSeed = 1
+)
+
+// newRuntime constructs a backend. Backend names are validated at admission.
+func newRuntime(backend string, workers int) rt.Runtime {
+	opt := rt.Options{Workers: workers}
+	switch backend {
+	case "bsp":
+		return rt.NewBSP(opt)
+	case "deepsparse":
+		return rt.NewDeepSparse(opt)
+	case "hpx":
+		return rt.NewHPX(opt)
+	case "regent":
+		return rt.NewRegent(opt)
+	}
+	panic(fmt.Sprintf("server: unknown backend %q", backend))
+}
+
+// effectiveWorkers resolves a job's runtime worker count.
+func (s *Server) effectiveWorkers(spec JobSpec) int {
+	if spec.Workers > 0 {
+		return spec.Workers
+	}
+	if s.cfg.RTWorkers > 0 {
+		return s.cfg.RTWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// execute runs one dequeued job through plan + solve and records metrics.
+func (s *Server) execute(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while queued
+		job.mu.Unlock()
+		return
+	}
+	start := time.Now()
+	job.state = StateRunning
+	job.started = start
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if job.Spec.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.Spec.DeadlineMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	job.cancel = cancel
+	job.mu.Unlock()
+	defer cancel()
+	s.metrics.QueueWait.Observe(start.Sub(job.submitted))
+
+	res, err := s.run(ctx, job.Spec)
+
+	fin := time.Now()
+	job.mu.Lock()
+	job.finished = fin
+	job.cancel = nil
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.result = res
+		s.metrics.Done.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		job.state = StateCanceled
+		job.err = err.Error()
+		s.metrics.Canceled.Add(1)
+	default:
+		job.state = StateFailed
+		job.err = err.Error()
+		s.metrics.Failed.Add(1)
+	}
+	job.mu.Unlock()
+	s.metrics.Total.Observe(fin.Sub(job.submitted))
+}
+
+// run materializes the matrix, resolves a tiling plan, and solves.
+func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	planStart := time.Now()
+	coo, err := spec.Matrix.buildMatrix()
+	if err != nil {
+		return nil, fmt.Errorf("matrix: %w", err)
+	}
+	workers := s.effectiveWorkers(spec)
+	plan, source, err := s.resolvePlan(spec, coo, workers)
+	s.metrics.PlanStage.Observe(time.Since(planStart))
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	csb := coo.ToCSB(plan.Block)
+	rtm := s.runtimeFor(spec.Backend, workers)
+
+	seed := spec.Seed
+	if seed == 0 {
+		seed = defaultJobSeed
+	}
+	res := &JobResult{
+		MatrixRows: coo.Rows,
+		MatrixNNZ:  coo.NNZ(),
+		Block:      plan.Block,
+		BlockCount: plan.BlockCount,
+		PlanSource: source,
+	}
+
+	solveStart := time.Now()
+	switch spec.Solver {
+	case "lanczos":
+		k := spec.K
+		if k <= 0 {
+			k = defaultSolverK
+		}
+		if k > csb.Rows {
+			k = csb.Rows
+		}
+		l, err := solver.NewLanczos(csb, k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := l.Run(ctx, rtm, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Eigenvalues = r.Eigenvalues
+		res.Iterations = r.Iterations
+		res.Residual = r.Residual
+		res.Converged = r.Converged
+	case "lobpcg":
+		k := spec.K
+		if k <= 0 {
+			k = defaultSolverK
+		}
+		if 3*k > csb.Rows {
+			k = csb.Rows / 3
+			if k < 1 {
+				return nil, fmt.Errorf("matrix with %d rows too small for lobpcg", csb.Rows)
+			}
+		}
+		l, err := solver.NewLOBPCG(csb, k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := l.Run(ctx, rtm, seed, spec.Iters)
+		if err != nil {
+			return nil, err
+		}
+		res.Eigenvalues = r.Eigenvalues
+		res.Iterations = r.Iterations
+		res.Residual = r.Residual
+		res.Converged = r.Converged
+	case "cg":
+		c, err := solver.NewCG(csb)
+		if err != nil {
+			return nil, err
+		}
+		b := solver.RandomRHS(csb.Rows, seed)
+		_, relres, iters, err := c.Solve(ctx, rtm, b)
+		if err != nil {
+			return nil, fmt.Errorf("cg after %d iterations (relres %.3e): %w", iters, relres, err)
+		}
+		res.Iterations = iters
+		res.Residual = relres
+		res.Converged = true
+	default:
+		return nil, fmt.Errorf("unknown solver %q", spec.Solver)
+	}
+	s.metrics.Solve.Observe(time.Since(solveStart))
+	return res, nil
+}
+
+// runtimeFor returns the shared Runtime instance for a backend, or an
+// ad-hoc one when the job overrides the worker count. Shared instances are
+// exercised concurrently by the pool — the pattern rt.Runtime documents as
+// safe (each job has its own TDG and store).
+func (s *Server) runtimeFor(backend string, workers int) rt.Runtime {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runtimes == nil {
+		s.runtimes = make(map[runtimeKey]rt.Runtime)
+	}
+	k := runtimeKey{backend, workers}
+	r, ok := s.runtimes[k]
+	if !ok {
+		r = newRuntime(backend, workers)
+		s.runtimes[k] = r
+	}
+	return r
+}
+
+type runtimeKey struct {
+	backend string
+	workers int
+}
+
+// resolvePlan picks the CSB tiling: an explicit request wins, then the plan
+// cache, then a fresh §5.4 six-trial autotune sweep whose result is cached
+// under the matrix's structural fingerprint. Matrices too small to tune get
+// a single-tile fallback (also cached, so they only pay the failed sweep
+// once).
+func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, workers int) (Plan, string, error) {
+	rows := coo.Rows
+	if spec.Block > 0 {
+		return Plan{
+			Block:      spec.Block,
+			BlockCount: (rows + spec.Block - 1) / spec.Block,
+		}, "request", nil
+	}
+	stats := sparse.ComputeStats(coo.ToCSR())
+	key := PlanKey{
+		Fingerprint: stats.Fingerprint(),
+		Solver:      spec.Solver,
+		Backend:     spec.Backend,
+		Workers:     workers,
+	}
+	if p, ok := s.plans.Get(key); ok {
+		return p, "cache", nil
+	}
+
+	sv := autotune.Lanczos // cg shares Lanczos's SpMV-dominated kernel mix
+	if spec.Solver == "lobpcg" {
+		sv = autotune.LOBPCG
+	}
+	s.metrics.AutotuneSweeps.Add(1)
+	res, err := autotune.Tune(rows, autotune.GraphEvaluator(coo, sv, workers, tuneFlopsPerNs, tuneOverheadNs))
+	if err != nil {
+		p := Plan{Block: rows, BlockCount: 1}
+		s.plans.Put(key, p)
+		return p, "fallback", nil
+	}
+	p := Plan{Block: res.Block, BlockCount: res.BlockCount, Bin: res.Bin}
+	s.plans.Put(key, p)
+	return p, "autotune", nil
+}

@@ -1,0 +1,216 @@
+// Package server implements solverd's serving layer: an HTTP/JSON front end
+// that admits sparse-solver jobs into a bounded FIFO queue, executes them on
+// a worker pool over the exec-mode runtimes (internal/rt), memoizes
+// autotuned block sizes in an LRU plan cache keyed by matrix fingerprint,
+// and reports on itself via /metrics and /healthz.
+//
+// The subsystem is the first step from the paper's offline evaluation toward
+// the ROADMAP's production north star: the paper shows runtime and block
+// size choice dominate performance; a serving layer can amortize that choice
+// across repeat traffic instead of re-deriving it per request.
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"sparsetask/internal/matgen"
+	"sparsetask/internal/sparse"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Terminal states are done, failed, and canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// MatrixSpec names the input matrix: either a matrix from the matgen suite
+// registry (scaled by preset) or an inline MatrixMarket document. Exactly
+// one of Suite and MM must be set.
+type MatrixSpec struct {
+	// Suite is a Table 1 matrix name from the matgen registry
+	// (e.g. "nlpkkt160").
+	Suite string `json:"suite,omitempty"`
+	// Preset scales suite matrices: tiny, small, medium. Default tiny.
+	Preset string `json:"preset,omitempty"`
+	// Seed drives suite-matrix generation. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// MM is an inline MatrixMarket coordinate document.
+	MM string `json:"mm,omitempty"`
+}
+
+// JobSpec is the POST /jobs request body.
+type JobSpec struct {
+	// Solver is one of lanczos, lobpcg, cg.
+	Solver string `json:"solver"`
+	// Backend is one of bsp, deepsparse, hpx, regent.
+	Backend string     `json:"backend"`
+	Matrix  MatrixSpec `json:"matrix"`
+	// K is the eigenpair count (lanczos: Krylov steps, lobpcg: block size).
+	// Default 6, clamped to the matrix dimension. Ignored by cg.
+	K int `json:"k,omitempty"`
+	// Iters > 0 runs LOBPCG for a fixed iteration count instead of
+	// converging (the paper's benchmarking mode). Ignored by other solvers.
+	Iters int `json:"iters,omitempty"`
+	// Workers overrides the runtime worker count for this job (0 = server
+	// default).
+	Workers int `json:"workers,omitempty"`
+	// Block forces a CSB block size in rows, bypassing the plan cache and
+	// autotuner.
+	Block int `json:"block,omitempty"`
+	// DeadlineMS bounds the job's execution time, measured from the moment
+	// a pool worker starts it. 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Seed drives the solver's random starting vector (and the CG
+	// right-hand side). Default 1.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Validate rejects malformed specs before they enter the queue.
+func (s *JobSpec) Validate() error {
+	switch s.Solver {
+	case "lanczos", "lobpcg", "cg":
+	default:
+		return fmt.Errorf("solver must be lanczos, lobpcg, or cg, got %q", s.Solver)
+	}
+	switch s.Backend {
+	case "bsp", "deepsparse", "hpx", "regent":
+	default:
+		return fmt.Errorf("backend must be bsp, deepsparse, hpx, or regent, got %q", s.Backend)
+	}
+	hasSuite, hasMM := s.Matrix.Suite != "", s.Matrix.MM != ""
+	if hasSuite == hasMM {
+		return fmt.Errorf("matrix needs exactly one of suite or mm")
+	}
+	if hasSuite {
+		if _, err := matgen.SpecByName(s.Matrix.Suite); err != nil {
+			return err
+		}
+		if p := s.Matrix.Preset; p != "" {
+			if _, err := matgen.PresetByName(p); err != nil {
+				return err
+			}
+		}
+	}
+	if s.K < 0 || s.Iters < 0 || s.Workers < 0 || s.Block < 0 || s.DeadlineMS < 0 {
+		return fmt.Errorf("k, iters, workers, block, and deadline_ms must be non-negative")
+	}
+	return nil
+}
+
+// buildMatrix realizes the spec into a COO matrix.
+func (s *MatrixSpec) buildMatrix() (*sparse.COO, error) {
+	if s.MM != "" {
+		return sparse.ReadMatrixMarket(strings.NewReader(s.MM))
+	}
+	spec, err := matgen.SpecByName(s.Suite)
+	if err != nil {
+		return nil, err
+	}
+	presetName := s.Preset
+	if presetName == "" {
+		presetName = "tiny"
+	}
+	preset, err := matgen.PresetByName(presetName)
+	if err != nil {
+		return nil, err
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return spec.Build(preset, seed), nil
+}
+
+// JobResult is the payload of a successfully completed job.
+type JobResult struct {
+	// Eigenvalues for lanczos (descending) and lobpcg (ascending); empty
+	// for cg.
+	Eigenvalues []float64 `json:"eigenvalues,omitempty"`
+	Iterations  int       `json:"iterations"`
+	// Residual is the solver's convergence metric (relative residual for cg).
+	Residual  float64 `json:"residual"`
+	Converged bool    `json:"converged"`
+
+	MatrixRows int `json:"matrix_rows"`
+	MatrixNNZ  int `json:"matrix_nnz"`
+	// Block and BlockCount describe the CSB tiling the job executed with.
+	Block      int `json:"block"`
+	BlockCount int `json:"block_count"`
+	// PlanSource records where the tiling came from: "request" (explicit
+	// block in the spec), "cache" (plan-cache hit), "autotune" (fresh
+	// six-trial sweep), or "fallback" (matrix too small to tune).
+	PlanSource string `json:"plan_source"`
+}
+
+// Job is one tracked solve. All mutable fields are guarded by mu.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // set while running
+}
+
+// JobView is the JSON representation served on /jobs endpoints.
+type JobView struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Solver      string     `json:"solver"`
+	Backend     string     `json:"backend"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		State:       j.state,
+		Solver:      j.Spec.Solver,
+		Backend:     j.Spec.Backend,
+		Error:       j.err,
+		Result:      j.result,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// StateNow returns the current state.
+func (j *Job) StateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i counts
+// observations in [2^i, 2^(i+1)) microseconds, so the range spans 1 µs to
+// ~2.3 h — wide enough for both plan lookups and multi-minute solves.
+const histBuckets = 33
+
+// Histogram is a fixed-bucket log2 latency histogram. Stdlib-only stand-in
+// for a Prometheus histogram; quantiles are estimated from bucket midpoints.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sumNs   int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	b := 0
+	for us >= 2 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sumNs += d.Nanoseconds()
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the JSON form served on /metrics.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	SumMS float64 `json:"sum_ms"`
+	AvgMS float64 `json:"avg_ms"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// Snapshot freezes the histogram into counts and estimated quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	count, sum := h.count, h.sumNs
+	var b [histBuckets]int64
+	copy(b[:], h.buckets[:])
+	h.mu.Unlock()
+
+	s := HistogramSnapshot{Count: count, SumMS: float64(sum) / 1e6}
+	if count == 0 {
+		return s
+	}
+	s.AvgMS = s.SumMS / float64(count)
+	q := func(p float64) float64 {
+		target := int64(math.Ceil(p * float64(count)))
+		var seen int64
+		for i := 0; i < histBuckets; i++ {
+			seen += b[i]
+			if seen >= target {
+				// Geometric midpoint of [2^i, 2^(i+1)) microseconds.
+				return math.Sqrt2 * float64(int64(1)<<i) / 1000
+			}
+		}
+		return s.AvgMS
+	}
+	s.P50MS, s.P90MS, s.P99MS = q(0.50), q(0.90), q(0.99)
+	return s
+}
+
+// Metrics aggregates the service counters exported on /metrics. All fields
+// are updated lock-free; gauges (queue depth, per-state job counts) are
+// computed at snapshot time by the server.
+type Metrics struct {
+	Submitted atomic.Int64 // jobs accepted into the queue
+	Rejected  atomic.Int64 // jobs refused with 429 (queue full)
+	Done      atomic.Int64
+	Failed    atomic.Int64
+	Canceled  atomic.Int64 // explicit DELETE or deadline expiry
+
+	PlanHits       atomic.Int64
+	PlanMisses     atomic.Int64
+	AutotuneSweeps atomic.Int64 // six-trial block-size searches actually run
+
+	QueueWait Histogram // submit → execution start
+	PlanStage Histogram // matrix build + fingerprint + plan lookup/tune
+	Solve     Histogram // solver execution proper
+	Total     Histogram // submit → terminal state
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	Queue struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+	} `json:"queue"`
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Rejected  int64 `json:"rejected"`
+		Queued    int   `json:"queued"`
+		Running   int   `json:"running"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+	} `json:"jobs"`
+	PlanCache struct {
+		Hits           int64 `json:"hits"`
+		Misses         int64 `json:"misses"`
+		Evictions      int64 `json:"evictions"`
+		Size           int   `json:"size"`
+		Capacity       int   `json:"capacity"`
+		AutotuneSweeps int64 `json:"autotune_sweeps"`
+	} `json:"plan_cache"`
+	Latency struct {
+		QueueWait HistogramSnapshot `json:"queue_wait"`
+		Plan      HistogramSnapshot `json:"plan"`
+		Solve     HistogramSnapshot `json:"solve"`
+		Total     HistogramSnapshot `json:"total"`
+	} `json:"latency"`
+}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sparsetask/internal/rt"
+)
+
+// Config sizes the service.
+type Config struct {
+	// QueueSize bounds the FIFO admission queue; a full queue rejects new
+	// jobs with 429. Default 64.
+	QueueSize int
+	// Workers is the pool size — how many jobs execute concurrently.
+	// Default 2.
+	Workers int
+	// RTWorkers is the default per-job runtime worker count (0 =
+	// GOMAXPROCS). Jobs may override with JobSpec.Workers.
+	RTWorkers int
+	// PlanCacheSize bounds the autotune plan LRU. Default 128.
+	PlanCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 128
+	}
+	return c
+}
+
+// Server is the solverd serving layer. Create with New, mount Handler() on
+// an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	plans   *PlanCache
+	queue   chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for GET /jobs
+	seq      int64
+	draining bool
+	runtimes map[runtimeKey]rt.Runtime // shared per-(backend,workers) instances
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workers    sync.WaitGroup
+	mux        *http.ServeMux
+}
+
+// New starts the worker pool and returns a ready server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		metrics:    &Metrics{},
+		plans:      NewPlanCache(cfg.PlanCacheSize),
+		queue:      make(chan *Job, cfg.QueueSize),
+		jobs:       make(map[string]*Job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler exposes the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain performs a graceful shutdown: stop admitting jobs (POST returns 503,
+// /healthz flips to draining), let queued and running jobs finish, and
+// return. If ctx expires first, running jobs are hard-cancelled (they
+// terminate at task granularity) and Drain returns ctx's error after the
+// pool exits.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // senders hold mu and check draining first
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the admission queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for job := range s.queue {
+		s.execute(job)
+	}
+}
+
+// submit registers and enqueues a job. It returns the job, or an HTTP
+// status and error when admission fails.
+func (s *Server) submit(spec JobSpec) (*Job, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining")
+	}
+	s.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.seq),
+		Spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.seq-- // never existed
+		s.metrics.Rejected.Add(1)
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d jobs)", cap(s.queue))
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.metrics.Submitted.Add(1)
+	return job, http.StatusAccepted, nil
+}
+
+// requestCancel cancels a job: queued jobs flip to canceled immediately (the
+// pool skips them on dequeue), running jobs get their context cancelled and
+// reach canceled once the runtime unwinds. Terminal jobs are left alone.
+func (s *Server) requestCancel(j *Job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = "canceled while queued"
+		j.finished = time.Now()
+		s.metrics.Canceled.Add(1)
+		s.metrics.Total.Observe(j.finished.Sub(j.submitted))
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// ------------------------------------------------------------- HTTP layer
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, status, err := s.submit(spec)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, job.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].View())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	job := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+	}
+	return job
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if job := s.jobByID(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.View())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.jobByID(w, r)
+	if job == nil {
+		return
+	}
+	s.requestCancel(job)
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap MetricsSnapshot
+	snap.Queue.Depth = len(s.queue)
+	snap.Queue.Capacity = cap(s.queue)
+
+	m := s.metrics
+	snap.Jobs.Submitted = m.Submitted.Load()
+	snap.Jobs.Rejected = m.Rejected.Load()
+	snap.Jobs.Done = m.Done.Load()
+	snap.Jobs.Failed = m.Failed.Load()
+	snap.Jobs.Canceled = m.Canceled.Load()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		switch j.StateNow() {
+		case StateQueued:
+			snap.Jobs.Queued++
+		case StateRunning:
+			snap.Jobs.Running++
+		}
+	}
+	s.mu.Unlock()
+
+	hits, misses, evictions := s.plans.Stats()
+	snap.PlanCache.Hits = hits
+	snap.PlanCache.Misses = misses
+	snap.PlanCache.Evictions = evictions
+	snap.PlanCache.Size = s.plans.Len()
+	snap.PlanCache.Capacity = s.cfg.PlanCacheSize
+	snap.PlanCache.AutotuneSweeps = m.AutotuneSweeps.Load()
+
+	snap.Latency.QueueWait = m.QueueWait.Snapshot()
+	snap.Latency.Plan = m.PlanStage.Snapshot()
+	snap.Latency.Solve = m.Solve.Snapshot()
+	snap.Latency.Total = m.Total.Snapshot()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.cfg.Workers,
+	})
+}

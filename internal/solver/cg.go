@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -134,8 +135,12 @@ func (c *CG) Program() *program.Program { return c.prog }
 
 // Solve runs CG for the right-hand side b under the given runtime (nil =
 // sequential BSP) and returns the solution, the final relative residual, and
-// the iteration count.
-func (c *CG) Solve(r rt.Runtime, b []float64) ([]float64, float64, int, error) {
+// the iteration count. Cancelling ctx aborts the solve mid-iteration and
+// returns the context's error.
+func (c *CG) Solve(ctx context.Context, r rt.Runtime, b []float64) ([]float64, float64, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := c.A.Rows
 	if len(b) != m {
 		return nil, 0, 0, fmt.Errorf("solver: CG rhs has length %d, want %d", len(b), m)
@@ -155,7 +160,9 @@ func (c *CG) Solve(r rt.Runtime, b []float64) ([]float64, float64, int, error) {
 
 	var relres float64
 	for it := 1; it <= c.MaxIter; it++ {
-		r.Run(c.g, c.st)
+		if err := r.Run(ctx, c.g, c.st); err != nil {
+			return nil, relres, it - 1, err
+		}
 		relres = c.st.Scalars[c.opRnorm] / bn
 		if relres < c.Tol {
 			x := append([]float64(nil), c.st.Vec[c.opX]...)

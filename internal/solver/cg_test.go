@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestCGSolvesLaplacian(t *testing.T) {
 	}
 	cg.Tol = 1e-10
 	b := RandomRHS(n, 3)
-	x, relres, iters, err := cg.Solve(rt.NewDeepSparse(rt.Options{Workers: 3}), b)
+	x, relres, iters, err := cg.Solve(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 3}), b)
 	if err != nil {
 		t.Fatalf("after %d iterations, relres %g: %v", iters, relres, err)
 	}
@@ -48,7 +49,7 @@ func TestCGMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	cg.Tol = 1e-12
-	x, _, _, err := cg.Solve(rt.NewHPX(rt.Options{Workers: 2}), b)
+	x, _, _, err := cg.Solve(context.Background(), rt.NewHPX(rt.Options{Workers: 2}), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestCGAllRuntimesAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		x, _, _, err := cg.Solve(r, b)
+		x, _, _, err := cg.Solve(context.Background(), r, b)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -99,7 +100,7 @@ func TestCGZeroRHS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x, relres, iters, err := cg.Solve(nil, make([]float64, 30))
+	x, relres, iters, err := cg.Solve(context.Background(), nil, make([]float64, 30))
 	if err != nil || relres != 0 || iters != 0 {
 		t.Fatalf("zero rhs: %v %v %v", relres, iters, err)
 	}
@@ -121,7 +122,7 @@ func TestCGValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := cg.Solve(nil, make([]float64, 3)); err == nil {
+	if _, _, _, err := cg.Solve(context.Background(), nil, make([]float64, 3)); err == nil {
 		t.Error("wrong rhs length accepted")
 	}
 }

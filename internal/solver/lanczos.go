@@ -11,6 +11,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -122,8 +123,13 @@ func (l *Lanczos) Program() *program.Program { return l.prog }
 
 // Run executes up to K iterations under the given runtime and returns the
 // Ritz values of the resulting tridiagonal matrix. A nil runtime runs
-// sequentially via the BSP backend with one worker.
-func (l *Lanczos) Run(r rt.Runtime, seed int64) (Result, error) {
+// sequentially via the BSP backend with one worker. Cancelling ctx aborts
+// the solve mid-iteration and returns the context's error; the solver's
+// internal state is then poisoned and must not be reused.
+func (l *Lanczos) Run(ctx context.Context, r rt.Runtime, seed int64) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if r == nil {
 		r = rt.NewBSP(rt.Options{Workers: 1})
 	}
@@ -148,7 +154,9 @@ func (l *Lanczos) Run(r rt.Runtime, seed int64) (Result, error) {
 
 	var res Result
 	for it := 1; it <= l.K; it++ {
-		r.Run(l.g, l.st)
+		if err := r.Run(ctx, l.g, l.st); err != nil {
+			return res, err
+		}
 		// α_i is the projection of z on q_{i-1} = basis column it-1.
 		c := l.st.Small[l.opC]
 		l.alpha = append(l.alpha, c[it-1])

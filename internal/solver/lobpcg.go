@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -311,8 +312,12 @@ func (l *LOBPCG) rayleighRitz(st *program.Store) {
 // drops below Tol or MaxIter is reached. A nil runtime runs with the BSP
 // backend on one worker. iters > 0 overrides MaxIter with a fixed iteration
 // count and disables the convergence exit (the benchmarking mode the paper
-// uses: fixed 10 or 5 iterations).
-func (l *LOBPCG) Run(r rt.Runtime, seed int64, iters int) (Result, error) {
+// uses: fixed 10 or 5 iterations). Cancelling ctx aborts the solve
+// mid-iteration and returns the context's error.
+func (l *LOBPCG) Run(ctx context.Context, r rt.Runtime, seed int64, iters int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if r == nil {
 		r = rt.NewBSP(rt.Options{Workers: 1})
 	}
@@ -344,7 +349,9 @@ func (l *LOBPCG) Run(r rt.Runtime, seed int64, iters int) (Result, error) {
 
 	var res Result
 	for it := 1; it <= maxIter; it++ {
-		r.Run(l.g, l.st)
+		if err := r.Run(ctx, l.g, l.st); err != nil {
+			return res, err
+		}
 		res.Iterations = it
 		res.Residual = l.st.Scalars[l.opRnorm]
 		if !fixed && res.Residual < l.Tol {

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -57,7 +58,7 @@ func TestLanczosLaplacianLargestEigenvalues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run(rt.NewDeepSparse(rt.Options{Workers: 4}), 1)
+	res, err := l.Run(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 4}), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestLanczosMatchesReferenceExactly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run(rt.NewHPX(rt.Options{Workers: 3}), 7)
+	res, err := l.Run(context.Background(), rt.NewHPX(rt.Options{Workers: 3}), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestLanczosAllRuntimesAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := l.Run(r, 11)
+		res, err := l.Run(context.Background(), r, 11)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -141,7 +142,7 @@ func TestLanczosBreakdownDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run(nil, 1)
+	res, err := l.Run(context.Background(), nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestLOBPCGLaplacianSmallestEigenvalues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run(rt.NewDeepSparse(rt.Options{Workers: 4}), 1, 80)
+	res, err := l.Run(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 4}), 1, 80)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestLOBPCGMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run(rt.NewHPX(rt.Options{Workers: 3}), 17, 12)
+	res, err := l.Run(context.Background(), rt.NewHPX(rt.Options{Workers: 3}), 17, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestLOBPCGAllRuntimesAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := l.Run(r, 5, 8)
+		res, err := l.Run(context.Background(), r, 5, 8)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -281,7 +282,7 @@ func TestLOBPCGFixedIterationMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run(nil, 3, 4)
+	res, err := l.Run(context.Background(), nil, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestLOBPCGJacobiPreconditioner(t *testing.T) {
 		}
 		l.Tol = 1e-7
 		l.MaxIter = 200
-		res, err := l.Run(rt.NewDeepSparse(rt.Options{Workers: 2}), 9, 0)
+		res, err := l.Run(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 2}), 9, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -357,7 +358,7 @@ func TestLOBPCGPreconditionedAllRuntimesAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := l.Run(r, 5, 8)
+		res, err := l.Run(context.Background(), r, 5, 8)
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
@@ -382,7 +383,7 @@ func TestLOBPCGEigenvectorResiduals(t *testing.T) {
 	}
 	l.Tol = 1e-8
 	l.MaxIter = 300
-	res, err := l.Run(rt.NewDeepSparse(rt.Options{Workers: 2}), 3, 0)
+	res, err := l.Run(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 2}), 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +414,7 @@ func TestLanczosRitzVectorResiduals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run(rt.NewHPX(rt.Options{Workers: 2}), 5)
+	res, err := l.Run(context.Background(), rt.NewHPX(rt.Options{Workers: 2}), 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,10 +52,19 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("sparse: bad MatrixMarket dimensions %dx%d", rows, cols)
 	}
+	if sym == "symmetric" && rows != cols {
+		return nil, fmt.Errorf("sparse: symmetric MatrixMarket matrix must be square, got %dx%d", rows, cols)
+	}
 
 	hint := nnz
 	if sym == "symmetric" {
 		hint = 2 * nnz
+	}
+	// Cap the pre-allocation: the size line is untrusted input and entries
+	// are appended anyway, so a hostile nnz must not drive a huge make().
+	const maxHint = 1 << 22
+	if hint < 0 || hint > maxHint {
+		hint = maxHint
 	}
 	a := NewCOO(rows, cols, hint)
 	read := 0
@@ -86,6 +95,9 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sparse: bad value %q: %v", f[2], err)
 			}
+		}
+		if i64 < 1 || i64 > int64(rows) || j64 < 1 || j64 > int64(cols) {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) outside %dx%d", i64, j64, rows, cols)
 		}
 		i, j := int32(i64-1), int32(j64-1) // MatrixMarket is 1-based
 		a.Append(i, j, v)

@@ -42,6 +42,28 @@ func ComputeStats(a *CSR) Stats {
 	return s
 }
 
+// Fingerprint condenses the stats into a 64-bit FNV-1a key. Two matrices
+// with equal fingerprints share the structural properties (size, density,
+// skew, bandwidth) that drive block-size selection, which is what the
+// serving layer's plan cache keys on.
+func (s Stats) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range []uint64{
+		uint64(s.Rows), uint64(s.Cols), uint64(s.NNZ),
+		uint64(s.MaxRowNNZ), uint64(s.Bandwidth),
+	} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("%dx%d nnz=%d avg/row=%.1f max/row=%d imb=%.1f bw=%d",
 		s.Rows, s.Cols, s.NNZ, s.AvgRowNNZ, s.MaxRowNNZ, s.Imbalance, s.Bandwidth)

@@ -1,0 +1,39 @@
+#!/bin/sh
+# End-to-end smoke test for the serving layer: build solverd + loadgen, start
+# the daemon, run a 10 s closed-loop load, and require non-zero throughput.
+# Used manually and as the serving-layer acceptance check; see README.md.
+set -eu
+
+PORT="${PORT:-18080}"
+DURATION="${DURATION:-10s}"
+BIN="$(mktemp -d)"
+trap 'kill "$SOLVERD_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+go build -o "$BIN/solverd" ./cmd/solverd
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+"$BIN/solverd" -addr "127.0.0.1:$PORT" -workers 2 &
+SOLVERD_PID=$!
+
+# Wait for /healthz (up to ~5 s).
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: solverd never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# loadgen exits non-zero when no job completes, which fails the script via
+# set -e: that is the smoke assertion.
+"$BIN/loadgen" -addr "127.0.0.1:$PORT" -c 4 -d "$DURATION" -mix lanczos=1,cg=1
+
+echo "--- /metrics after load ---"
+curl -s "http://127.0.0.1:$PORT/metrics"
+
+kill "$SOLVERD_PID"
+wait "$SOLVERD_PID" 2>/dev/null || true
+echo "smoke: OK"
