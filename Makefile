@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz smoke
+.PHONY: check fmt vet build test race fuzz smoke bench
 
 check: fmt vet build test race
 
@@ -35,3 +35,10 @@ fuzz:
 # End-to-end serving smoke: build solverd + loadgen, serve, 10s of load.
 smoke:
 	./scripts/smoke.sh
+
+# Performance baseline: kernel microbenches, per-backend solver runs, and a
+# short serving-layer load run; updates BENCH_PR3.json (baseline preserved).
+# Not part of `check` — run it when touching hot paths.
+bench:
+	./scripts/bench.sh
+

@@ -16,6 +16,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,11 +122,22 @@ func main() {
 	preset := flag.String("preset", "tiny", "matgen preset: tiny, small, medium")
 	seed := flag.Int64("seed", 1, "matrix + solver seed")
 	k := flag.Int("k", 4, "eigenpair count for lanczos/lobpcg jobs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the client side of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
 		log.Fatalf("-mix: %v", err)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
 	}
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 10 * time.Second}
@@ -209,6 +222,23 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	// Profiles are flushed explicitly: the failure path below exits through
+	// os.Exit, which would skip deferred writers.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		runtime.GC() // report only live allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		f.Close()
+	}
 
 	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
 	throughput := float64(st.done) / elapsed.Seconds()

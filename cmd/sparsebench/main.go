@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"sparsetask/internal/bench"
@@ -27,6 +29,9 @@ func main() {
 		iters    = flag.Int("iters", 0, "solver iterations per run (0 = experiment default)")
 		matrices = flag.String("matrices", "", "comma-separated matrix subset (default: experiment default)")
 		maxMat   = flag.Int("maxmatrices", 0, "cap the suite size (0 = no cap)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -40,6 +45,16 @@ func main() {
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "sparsebench: -exp required (use -list to see options)")
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	p, err := matgen.PresetByName(*preset)
 	if err != nil {
@@ -80,6 +95,17 @@ func main() {
 		if err := rep.Write(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // report only live allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 }
 

@@ -18,7 +18,28 @@ func SymEig(a []float64, n int) (eigvals []float64, v []float64, err error) {
 	if len(a) < n*n {
 		return nil, nil, fmt.Errorf("blas: SymEig needs %d elements, have %d", n*n, len(a))
 	}
-	w := make([]float64, n*n)
+	work := make([]float64, n*n)
+	eigvals = make([]float64, n)
+	v = make([]float64, n*n)
+	if err := SymEigInto(a, n, work, eigvals, v); err != nil {
+		return nil, nil, err
+	}
+	return eigvals, v, nil
+}
+
+// SymEigInto is the allocation-free form of SymEig for hot paths (the
+// per-iteration Rayleigh–Ritz solves): work is n×n scratch (overwritten),
+// vals receives the ascending eigenvalues (len ≥ n), vecs the eigenvectors
+// as columns (len ≥ n×n). On error the output buffers hold garbage. The
+// success path performs no heap allocations.
+func SymEigInto(a []float64, n int, work, vals, vecs []float64) error {
+	if len(a) < n*n {
+		return fmt.Errorf("blas: SymEig needs %d elements, have %d", n*n, len(a))
+	}
+	if len(work) < n*n || len(vals) < n || len(vecs) < n*n {
+		return fmt.Errorf("blas: SymEigInto buffers too small for n=%d", n)
+	}
+	w := work[:n*n]
 	copy(w, a[:n*n])
 	// Symmetry check with a tolerance scaled by magnitude.
 	var amax float64
@@ -32,7 +53,7 @@ func SymEig(a []float64, n int) (eigvals []float64, v []float64, err error) {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if math.Abs(w[i*n+j]-w[j*n+i]) > 1e-8*(1+amax) {
-				return nil, nil, fmt.Errorf("blas: SymEig input not symmetric at (%d,%d): %g vs %g", i, j, w[i*n+j], w[j*n+i])
+				return fmt.Errorf("blas: SymEig input not symmetric at (%d,%d): %g vs %g", i, j, w[i*n+j], w[j*n+i])
 			}
 			// Enforce exact symmetry so rotations stay consistent.
 			m := 0.5 * (w[i*n+j] + w[j*n+i])
@@ -40,7 +61,8 @@ func SymEig(a []float64, n int) (eigvals []float64, v []float64, err error) {
 		}
 	}
 
-	v = make([]float64, n*n)
+	v := vecs[:n*n]
+	clear(v)
 	for i := 0; i < n; i++ {
 		v[i*n+i] = 1
 	}
@@ -96,20 +118,20 @@ func SymEig(a []float64, n int) (eigvals []float64, v []float64, err error) {
 		}
 	}
 
-	eigvals = make([]float64, n)
+	ev := vals[:n]
 	for i := 0; i < n; i++ {
-		eigvals[i] = w[i*n+i]
+		ev[i] = w[i*n+i]
 	}
 	// Sort eigenpairs ascending by eigenvalue (insertion sort: n is tiny).
 	for i := 1; i < n; i++ {
-		for j := i; j > 0 && eigvals[j] < eigvals[j-1]; j-- {
-			eigvals[j], eigvals[j-1] = eigvals[j-1], eigvals[j]
+		for j := i; j > 0 && ev[j] < ev[j-1]; j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
 			for k := 0; k < n; k++ {
 				v[k*n+j], v[k*n+j-1] = v[k*n+j-1], v[k*n+j]
 			}
 		}
 	}
-	return eigvals, v, nil
+	return nil
 }
 
 // SymTriEig computes the eigenvalues (ascending) and eigenvectors of the

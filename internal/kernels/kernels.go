@@ -78,7 +78,15 @@ func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first bool,
 			}
 			buf := st.SpMMBuf(int(t.Call), bj)
 			src := buf[lo : lo+len(out)]
-			for i := range out {
+			src = src[:len(out)]
+			i := 0
+			for ; i+4 <= len(out); i += 4 {
+				out[i] += src[i]
+				out[i+1] += src[i+1]
+				out[i+2] += src[i+2]
+				out[i+3] += src[i+3]
+			}
+			for ; i < len(out); i++ {
 				out[i] += src[i]
 			}
 		}
@@ -100,6 +108,7 @@ func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first bool,
 		zero(out)
 		for bi := 0; bi < p.NP; bi++ {
 			part := st.Partial(int(t.Call), bi)
+			part = part[:len(out)]
 			for i := range out {
 				out[i] += part[i]
 			}
@@ -110,7 +119,16 @@ func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first bool,
 		b := st.VecPart(c.B, int(t.P))
 		out := st.VecPart(c.Out, int(t.P))
 		al, be := c.Alpha, c.Beta
-		for i := range out {
+		a = a[:len(out)]
+		b = b[:len(out)]
+		i := 0
+		for ; i+4 <= len(out); i += 4 {
+			out[i] = al*a[i] + be*b[i]
+			out[i+1] = al*a[i+1] + be*b[i+1]
+			out[i+2] = al*a[i+2] + be*b[i+2]
+			out[i+3] = al*a[i+3] + be*b[i+3]
+		}
+		for ; i < len(out); i++ {
 			out[i] = al*a[i] + be*b[i]
 		}
 
@@ -124,6 +142,7 @@ func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first bool,
 		if s != 0 {
 			inv = 1 / s
 		}
+		a = a[:len(out)]
 		for i := range out {
 			out[i] = a[i] * inv
 		}
@@ -177,10 +196,10 @@ type fusedView struct {
 	First bool
 }
 
+// zero clears s; clear() compiles to a memclr, unlike an arbitrary
+// assignment loop.
 func zero(s []float64) {
-	for i := range s {
-		s[i] = 0
-	}
+	clear(s)
 }
 
 // RunSequential executes the whole TDG in topological (id) order on the

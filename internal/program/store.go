@@ -17,16 +17,15 @@ type Store struct {
 	SparseM map[OperandID]*sparse.CSB
 	// Vec, Small and Scalars are indexed by OperandID; entries for operands
 	// of other kinds are nil/unused.
-	Vec      [][]float64
-	Small    [][]float64
-	Scalars  []float64
-	partials map[partialKey][]float64
-	spmmBuf  map[partialKey][]float64
-}
-
-type partialKey struct {
-	call int32
-	part int32
+	Vec     [][]float64
+	Small   [][]float64
+	Scalars []float64
+	// partials and spmmBuf are flat call-major tables indexed
+	// call*NP+part. A slice lookup here sits on the critical path of every
+	// reduction task, so these are not maps: the flat form is one load with
+	// no hashing and no lock-free-read caveats.
+	partials [][]float64
+	spmmBuf  [][]float64
 }
 
 // NewStore allocates backing storage for every operand of p except sparse
@@ -38,8 +37,8 @@ func NewStore(p *Program) *Store {
 		Vec:      make([][]float64, len(p.Ops)),
 		Small:    make([][]float64, len(p.Ops)),
 		Scalars:  make([]float64, len(p.Ops)),
-		partials: make(map[partialKey][]float64),
-		spmmBuf:  make(map[partialKey][]float64),
+		partials: make([][]float64, len(p.Calls)*p.NP),
+		spmmBuf:  make([][]float64, len(p.Calls)*p.NP),
 	}
 	for _, o := range p.Ops {
 		switch o.Kind {
@@ -64,7 +63,7 @@ func NewStore(p *Program) *Store {
 				// deliberately memory-hungry reduce-based variant.
 				w := p.Op(c.Out).Cols
 				for bj := 0; bj < p.NP; bj++ {
-					st.spmmBuf[partialKey{int32(ci), int32(bj)}] = make([]float64, p.M*w)
+					st.spmmBuf[ci*p.NP+bj] = make([]float64, p.M*w)
 				}
 			}
 			continue
@@ -72,7 +71,7 @@ func NewStore(p *Program) *Store {
 			continue
 		}
 		for part := 0; part < p.NP; part++ {
-			st.partials[partialKey{int32(ci), int32(part)}] = make([]float64, n)
+			st.partials[ci*p.NP+part] = make([]float64, n)
 		}
 	}
 	return st
@@ -104,10 +103,11 @@ func (st *Store) VecPart(id OperandID, part int) []float64 {
 }
 
 // Partial returns the preallocated partial buffer for reduction call callIdx
-// at partition part. Concurrent callers only read the map, which is safe.
+// at partition part. Concurrent callers only read the flat table, which is
+// safe because entries are fixed after NewStore.
 func (st *Store) Partial(callIdx, part int) []float64 {
-	b, ok := st.partials[partialKey{int32(callIdx), int32(part)}]
-	if !ok {
+	b := st.partials[callIdx*st.P.NP+part]
+	if b == nil {
 		panic(fmt.Sprintf("program: no partial buffer for call %d partition %d", callIdx, part))
 	}
 	return b
@@ -116,8 +116,8 @@ func (st *Store) Partial(callIdx, part int) []float64 {
 // SpMMBuf returns the reduce-based SpMM column buffer for call callIdx and
 // column partition bj. It has the full output height.
 func (st *Store) SpMMBuf(callIdx, bj int) []float64 {
-	b, ok := st.spmmBuf[partialKey{int32(callIdx), int32(bj)}]
-	if !ok {
+	b := st.spmmBuf[callIdx*st.P.NP+bj]
+	if b == nil {
 		panic(fmt.Sprintf("program: no SpMM buffer for call %d column %d", callIdx, bj))
 	}
 	return b

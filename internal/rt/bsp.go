@@ -29,32 +29,30 @@ func NewBSP(opt Options) *BSP { return &BSP{opt: opt, epoch: time.Now()} }
 // Name implements Runtime.
 func (r *BSP) Name() string { return "bsp" }
 
-// Run implements Runtime. Cancellation is observed at the chain/barrier
-// granularity: workers stop picking up chains, the current barrier drains,
-// and Run returns ctx's error without starting the next kernel.
-func (r *BSP) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	nw := r.opt.workers()
-	body := taskBody(g, st, r.opt.Recorder, r.epoch)
+// bspCallPlan is one kernel's static schedule: per-partition task chains in
+// ascending partition order (chain k goes to worker k%nw, OpenMP static-for
+// semantics) plus the serial post-barrier tasks (reductions, small steps).
+type bspCallPlan struct {
+	chains [][]int32
+	serial []int32
+}
 
-	// Group tasks by call, preserving id order (which is Q order within a
-	// row chain, so accumulation order is identical to the AMT runtimes').
+// buildBSPPlan groups a TDG's tasks by call and partition once; the plan is
+// immutable and reusable across runs of the same graph.
+func buildBSPPlan(g *graph.TDG) []bspCallPlan {
 	byCall := make([][]int32, len(g.Prog.Calls))
 	for i := range g.Tasks {
 		c := g.Tasks[i].Call
 		byCall[c] = append(byCall[c], g.Tasks[i].ID)
 	}
-
+	var plan []bspCallPlan
 	for _, ids := range byCall {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
 		if len(ids) == 0 {
 			continue
 		}
-		// Partition the call's tasks into per-row chains plus serial tasks.
+		// Partition the call's tasks into per-row chains plus serial tasks,
+		// preserving id order (which is Q order within a row chain, so
+		// accumulation order is identical to the AMT runtimes').
 		chains := map[int32][]int32{}
 		var serial []int32
 		var parts []int32
@@ -70,45 +68,113 @@ func (r *BSP) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
 			chains[p] = append(chains[p], id)
 		}
 		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
-
-		// Static round-robin chain assignment: worker w owns chains
-		// w, w+nw, w+2nw, ... — OpenMP static-for semantics, so a single
-		// heavy chain (skewed nonzeros) stalls the barrier, the paper's BSP
-		// load-imbalance pathology.
-		var wg sync.WaitGroup
-		var panicOnce sync.Once
-		var panicVal any
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				defer func() {
-					if rec := recover(); rec != nil {
-						panicOnce.Do(func() { panicVal = rec })
-					}
-				}()
-				for k := w; k < len(parts); k += nw {
-					if ctx.Err() != nil {
-						return
-					}
-					for _, id := range chains[parts[k]] {
-						body(w, id)
-					}
-				}
-			}(w)
+		cp := bspCallPlan{serial: serial, chains: make([][]int32, len(parts))}
+		for k, p := range parts {
+			cp.chains[k] = chains[p]
 		}
-		wg.Wait() // the BSP barrier
-		if panicVal != nil {
-			panic(panicVal)
+		plan = append(plan, cp)
+	}
+	return plan
+}
+
+// bspPrepared executes a prebuilt plan. With one worker the chains run
+// inline on the calling goroutine (a barrier over one worker is a no-op), so
+// a steady-state run spawns no goroutines and allocates nothing.
+type bspPrepared struct {
+	plan []bspCallPlan
+	body func(int, int32)
+	nw   int
+}
+
+// Prepare implements Preparer: the per-call chain grouping is computed once
+// and reused by every PreparedRun.Run.
+func (r *BSP) Prepare(g *graph.TDG, st *program.Store) PreparedRun {
+	return &bspPrepared{
+		plan: buildBSPPlan(g),
+		body: taskBody(g, st, r.opt.Recorder, r.epoch),
+		nw:   r.opt.workers(),
+	}
+}
+
+func (p *bspPrepared) Close() {}
+
+// Run executes the plan once. Cancellation is observed at the chain/barrier
+// granularity: workers stop picking up chains, the current barrier drains,
+// and Run returns ctx's error without starting the next kernel.
+func (p *bspPrepared) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for i := range p.plan {
+		cp := &p.plan[i]
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if p.nw == 1 || len(cp.chains) <= 1 {
+			// Static round-robin over one worker: run inline, no barrier.
+			for _, chain := range cp.chains {
+				if ctx.Err() != nil {
+					break
+				}
+				for _, id := range chain {
+					p.body(0, id)
+				}
+			}
+		} else {
+			// Kept out of line so its escaping locals (WaitGroup, panic
+			// capture, goroutine closure) are only allocated when the
+			// parallel branch actually runs.
+			p.runParallel(ctx, cp)
 		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 
 		// Reductions and small steps run serially after the barrier.
-		for _, id := range serial {
-			body(0, id)
+		for _, id := range cp.serial {
+			p.body(0, id)
 		}
 	}
 	return nil
+}
+
+// runParallel executes one call's chains across the worker count with a
+// closing barrier. Static round-robin chain assignment: worker w owns chains
+// w, w+nw, w+2nw, ... — OpenMP static-for semantics, so a single heavy chain
+// (skewed nonzeros) stalls the barrier, the paper's BSP load-imbalance
+// pathology.
+func (p *bspPrepared) runParallel(ctx context.Context, cp *bspCallPlan) {
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	for w := 0; w < p.nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panicOnce.Do(func() { panicVal = rec })
+				}
+			}()
+			for k := w; k < len(cp.chains); k += p.nw {
+				if ctx.Err() != nil {
+					return
+				}
+				for _, id := range cp.chains[k] {
+					p.body(w, id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait() // the BSP barrier
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// Run implements Runtime: a one-shot Prepare + Run.
+func (r *BSP) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
+	p := r.Prepare(g, st)
+	defer p.Close()
+	return p.Run(ctx)
 }

@@ -27,14 +27,25 @@ func NewDeepSparse(opt Options) *DeepSparse {
 // Name implements Runtime.
 func (r *DeepSparse) Name() string { return "deepsparse" }
 
+func (r *DeepSparse) schedOptions() sched.Options {
+	return sched.Options{
+		Workers:    r.opt.workers(),
+		Discipline: sched.LIFO,
+	}
+}
+
 // Run implements Runtime.
 func (r *DeepSparse) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
 	body := taskBody(g, st, r.opt.Recorder, r.epoch)
 	return sched.RunGraph(ctx, len(g.Tasks), indegrees(g),
 		func(i int32) []int32 { return g.Tasks[i].Succs },
-		g.Roots, body,
-		sched.Options{
-			Workers:    r.opt.workers(),
-			Discipline: sched.LIFO,
-		})
+		g.Roots, body, r.schedOptions())
+}
+
+// Prepare implements Preparer: dependency counts, deques, and the worker
+// pool are built once and reused by every PreparedRun.Run — the OpenMP
+// "parallel region kept alive across iterations" analog.
+func (r *DeepSparse) Prepare(g *graph.TDG, st *program.Store) PreparedRun {
+	body := taskBody(g, st, r.opt.Recorder, r.epoch)
+	return newExecutorRun(g, body, r.schedOptions())
 }

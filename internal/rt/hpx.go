@@ -27,9 +27,7 @@ func NewHPX(opt Options) *HPX { return &HPX{opt: opt, epoch: time.Now()} }
 // Name implements Runtime.
 func (r *HPX) Name() string { return "hpx" }
 
-// Run implements Runtime.
-func (r *HPX) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
-	body := taskBody(g, st, r.opt.Recorder, r.epoch)
+func (r *HPX) schedOptions(g *graph.TDG) sched.Options {
 	opt := sched.Options{
 		Workers:    r.opt.workers(),
 		Discipline: sched.FIFO,
@@ -48,7 +46,20 @@ func (r *HPX) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
 			return int(int64(p) * int64(dom) / int64(np))
 		}
 	}
+	return opt
+}
+
+// Run implements Runtime.
+func (r *HPX) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
+	body := taskBody(g, st, r.opt.Recorder, r.epoch)
 	return sched.RunGraph(ctx, len(g.Tasks), indegrees(g),
 		func(i int32) []int32 { return g.Tasks[i].Succs },
-		g.Roots, body, opt)
+		g.Roots, body, r.schedOptions(g))
+}
+
+// Prepare implements Preparer: scheduler state and the worker pool persist
+// across PreparedRun.Run calls.
+func (r *HPX) Prepare(g *graph.TDG, st *program.Store) PreparedRun {
+	body := taskBody(g, st, r.opt.Recorder, r.epoch)
+	return newExecutorRun(g, body, r.schedOptions(g))
 }

@@ -21,6 +21,7 @@ import (
 	"sparsetask/internal/graph"
 	"sparsetask/internal/kernels"
 	"sparsetask/internal/program"
+	"sparsetask/internal/sched"
 	"sparsetask/internal/trace"
 )
 
@@ -67,6 +68,55 @@ type Runtime interface {
 	Name() string
 	Run(ctx context.Context, g *graph.TDG, st *program.Store) error
 }
+
+// PreparedRun is a reusable execution handle binding one runtime to one
+// (TDG, store) pair. Run executes the graph once, with the same semantics as
+// Runtime.Run; unlike Runtime.Run it may reuse scheduler state across calls,
+// so it must not be invoked concurrently with itself. Close releases any
+// resources (e.g. a persistent worker pool) and must be called exactly once
+// when the handle is no longer needed.
+type PreparedRun interface {
+	Run(ctx context.Context) error
+	Close()
+}
+
+// Preparer is implemented by runtimes that can amortize per-Run setup
+// (dependency counts, queues, worker pools) across repeated executions of
+// the same graph — the iterative-solver access pattern.
+type Preparer interface {
+	Prepare(g *graph.TDG, st *program.Store) PreparedRun
+}
+
+// PrepareRun returns a reusable execution handle for g on r. Runtimes that
+// implement Preparer get their amortized path; anything else falls back to
+// calling r.Run per iteration, so callers can use this unconditionally.
+func PrepareRun(r Runtime, g *graph.TDG, st *program.Store) PreparedRun {
+	if p, ok := r.(Preparer); ok {
+		return p.Prepare(g, st)
+	}
+	return &genericPrepared{r: r, g: g, st: st}
+}
+
+type genericPrepared struct {
+	r  Runtime
+	g  *graph.TDG
+	st *program.Store
+}
+
+func (p *genericPrepared) Run(ctx context.Context) error { return p.r.Run(ctx, p.g, p.st) }
+func (p *genericPrepared) Close()                        {}
+
+// executorRun adapts a persistent sched.Executor to PreparedRun; it is the
+// shared Prepare implementation for the stealing backends.
+type executorRun struct{ e *sched.Executor }
+
+func newExecutorRun(g *graph.TDG, body func(int, int32), opt sched.Options) *executorRun {
+	return &executorRun{e: sched.NewExecutor(len(g.Tasks), indegrees(g),
+		func(i int32) []int32 { return g.Tasks[i].Succs }, g.Roots, body, opt)}
+}
+
+func (p *executorRun) Run(ctx context.Context) error { return p.e.Run(ctx) }
+func (p *executorRun) Close()                        { p.e.Close() }
 
 // epochNow returns nanoseconds since the runtime's epoch.
 func epochNow(epoch time.Time) int64 { return time.Since(epoch).Nanoseconds() }

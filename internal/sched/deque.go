@@ -97,6 +97,14 @@ func (d *Deque) Steal() (int32, bool) {
 	return v, true
 }
 
+// Reset empties the deque, keeping any grown ring so refills don't
+// reallocate. Only safe when no other goroutine is using the deque (i.e.
+// between graph runs).
+func (d *Deque) Reset() {
+	d.top.Store(0)
+	d.bottom.Store(0)
+}
+
 // Size returns a linearizable-enough estimate of the current length.
 func (d *Deque) Size() int {
 	b := d.bottom.Load()

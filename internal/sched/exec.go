@@ -2,7 +2,6 @@ package sched
 
 import (
 	"context"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,31 +41,85 @@ type Options struct {
 }
 
 // RunGraph executes a dependency graph: n tasks, indeg[i] initial dependency
-// counts (consumed destructively via an internal copy), succs(i) the
-// successor list, and exec the task body. It returns nil when all n tasks
-// have executed. exec is called at most once per task, only after all its
-// predecessors completed.
+// counts, succs(i) the successor list, and exec the task body. It returns nil
+// when all n tasks have executed. exec is called at most once per task, only
+// after all its predecessors completed.
 //
 // Cancelling ctx stops the pool at task granularity: in-flight tasks finish,
 // no new task starts, and RunGraph returns ctx's error. The caller's data is
 // then partially updated and must be treated as poisoned. A nil ctx behaves
 // like context.Background().
+//
+// RunGraph is the one-shot form: it builds an Executor, runs the graph once,
+// and tears the workers down. Callers that execute the same graph repeatedly
+// (iterative solvers) should hold an Executor and call Run per iteration so
+// scheduler state is allocated once.
 func RunGraph(ctx context.Context, n int, indeg []int32, succs func(int32) []int32, roots []int32, exec func(worker int, task int32), opt Options) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if n == 0 {
-		return nil
-	}
+	e := NewExecutor(n, indeg, succs, roots, exec, opt)
+	defer e.Close()
+	return e.Run(ctx)
+}
+
+// Executor is a reusable dependency-graph executor: all scheduler state —
+// deques, dependency counters, ready-task routing buffers, per-worker PRNG
+// state, and (for Workers > 1) the worker goroutines themselves — is
+// allocated once at construction and reused by every Run. A steady-state Run
+// with an uncancellable context performs no heap allocations.
+//
+// Run executes the graph once and must not be called concurrently with
+// itself; Close releases the worker pool. With one worker the graph runs
+// inline on the calling goroutine and no pool exists at all.
+type Executor struct {
+	n      int
+	nw     int
+	dom    int
+	disc   Discipline
+	succs  func(int32) []int32
+	exec   func(int, int32)
+	opt    Options
+	order  []int32 // root submission order
+	indeg  []int32
+	deques []*Deque
+	remain []atomic.Int32
+	ready  [][]int32 // per-worker newly-ready routing buffer
+	rng    []paddedRng
+
+	total    atomic.Int64 // tasks left to execute
+	executed atomic.Int64 // tasks actually run (diverges from n on cancel)
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleep    int    // workers currently parked mid-run
+	version  uint64 // bumped on every wake-worthy event
+	panicVal any    // first task panic, re-raised by Run
+
+	gen    uint64 // bumped to start a run (pool mode)
+	active int    // workers still inside the current run (pool mode)
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// paddedRng is a per-worker xorshift64* state, padded to its own cache line
+// so victim selection never bounces a shared line (and never takes the
+// global math/rand lock).
+type paddedRng struct {
+	s uint64
+	_ [56]byte
+}
+
+// NewExecutor builds a reusable executor over a fixed graph shape. indeg is
+// copied; succs must be pure and stable across runs. With opt.Workers != 1
+// (or 0 on a multicore host) persistent worker goroutines are started
+// immediately and parked until Run.
+func NewExecutor(n int, indeg []int32, succs func(int32) []int32, roots []int32, exec func(worker int, task int32), opt Options) *Executor {
 	nw := opt.Workers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	if nw > n {
+	if nw > n && n > 0 {
 		nw = n
+	}
+	if n == 0 {
+		nw = 1
 	}
 	dom := opt.Domains
 	if dom <= 1 {
@@ -75,40 +128,76 @@ func RunGraph(ctx context.Context, n int, indeg []int32, succs func(int32) []int
 	if dom > nw {
 		dom = nw
 	}
-
-	e := &executor{
+	order := roots
+	if opt.InitialOrder != nil {
+		order = opt.InitialOrder
+	}
+	e := &Executor{
+		n:      n,
 		nw:     nw,
 		dom:    dom,
 		disc:   opt.Discipline,
 		succs:  succs,
 		exec:   exec,
 		opt:    opt,
+		order:  order,
+		indeg:  append([]int32(nil), indeg...),
 		deques: make([]*Deque, nw),
 		remain: make([]atomic.Int32, n),
+		ready:  make([][]int32, nw),
+		rng:    make([]paddedRng, nw),
 	}
 	for i := 0; i < nw; i++ {
 		e.deques[i] = NewDeque()
+		e.ready[i] = make([]int32, 0, 16)
+		// splitmix64 seeding: distinct non-zero stream per worker.
+		z := uint64(i+1) * 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		e.rng[i].s = z ^ (z >> 31) | 1
 	}
-	for i := 0; i < n; i++ {
-		e.remain[i].Store(indeg[i])
-	}
-	e.total.Store(int64(n))
 	e.cond = sync.NewCond(&e.mu)
+	if e.nw > 1 {
+		e.wg.Add(e.nw)
+		for w := 0; w < e.nw; w++ {
+			go e.workerLoop(w)
+		}
+	}
+	return e
+}
 
-	order := roots
-	if opt.InitialOrder != nil {
-		order = opt.InitialOrder
+// Run executes the graph once. It is not safe for concurrent use; iterative
+// callers invoke it once per iteration with a barrier between calls (which
+// the return provides). Panics raised by task bodies are re-raised here.
+func (e *Executor) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.n == 0 {
+		return nil
+	}
+	// Reset run state. No worker is active here, so plain writes are fine.
+	for i := range e.remain {
+		e.remain[i].Store(e.indeg[i])
+	}
+	e.executed.Store(0)
+	e.total.Store(int64(e.n))
+	e.panicVal = nil
+	for _, d := range e.deques {
+		d.Reset()
 	}
 	// Distribute roots across workers (respecting affinity when set) so
 	// execution starts balanced; the stealing protocol handles the rest.
-	for k, t := range order {
-		w := k % nw
-		if opt.Affinity != nil {
-			w = e.domainWorker(opt.Affinity(t), t)
+	for k, t := range e.order {
+		w := k % e.nw
+		if e.opt.Affinity != nil {
+			w = e.domainWorker(e.opt.Affinity(t), t)
 		}
 		e.deques[w].Push(t)
 	}
-
 	// Cancellation shuts the pool down exactly like a panic, minus the
 	// re-panic: workers observe total <= 0 and drain out.
 	if ctx.Done() != nil {
@@ -116,53 +205,75 @@ func RunGraph(ctx context.Context, n int, indeg []int32, succs func(int32) []int
 		defer stop()
 	}
 
-	var wg sync.WaitGroup
-	wg.Add(nw)
-	for w := 0; w < nw; w++ {
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				// A panicking task must not kill the worker silently (the
-				// pool would deadlock waiting for its tasks): capture the
-				// first panic, shut the pool down, and re-panic on the
-				// caller's goroutine below.
-				if r := recover(); r != nil {
-					e.abort(r)
-				}
-			}()
-			e.worker(w)
-		}(w)
+	if e.nw == 1 {
+		// Single worker: run inline on the calling goroutine — no pool, no
+		// parking, no wake traffic.
+		e.runWorker(0)
+	} else {
+		e.mu.Lock()
+		e.gen++
+		e.active = e.nw
+		e.cond.Broadcast()
+		for e.active > 0 {
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
 	}
-	wg.Wait()
+
 	if e.panicVal != nil {
 		panic(e.panicVal)
 	}
-	if e.executed.Load() != int64(n) {
+	if e.executed.Load() != int64(e.n) {
 		// The only non-panic way to stop short is cancellation.
 		return ctx.Err()
 	}
 	return nil
 }
 
-type executor struct {
-	nw, dom  int
-	disc     Discipline
-	succs    func(int32) []int32
-	exec     func(int, int32)
-	opt      Options
-	deques   []*Deque
-	remain   []atomic.Int32
-	total    atomic.Int64 // tasks left to execute
-	executed atomic.Int64 // tasks actually run (diverges from n on cancel)
-	mu       sync.Mutex
-	cond     *sync.Cond
-	sleep    int // workers currently parked
-	version  uint64
-	panicVal any // first task panic, re-raised by RunGraph
+// Close stops the persistent workers. The Executor must not be used after.
+func (e *Executor) Close() {
+	if e.nw == 1 {
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// workerLoop is the persistent body of pool worker w: park until a run
+// starts, participate, report completion, repeat.
+func (e *Executor) workerLoop(w int) {
+	defer e.wg.Done()
+	var lastGen uint64
+	for {
+		e.mu.Lock()
+		for !e.closed && e.gen == lastGen {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		lastGen = e.gen
+		e.mu.Unlock()
+		e.runWorker(w)
+		e.mu.Lock()
+		e.active--
+		if e.active == 0 {
+			e.cond.Broadcast() // wake Run's completion wait
+		}
+		e.mu.Unlock()
+	}
 }
 
 // abort records the first panic and releases every worker.
-func (e *executor) abort(v any) {
+func (e *Executor) abort(v any) {
 	e.mu.Lock()
 	if e.panicVal == nil {
 		e.panicVal = v
@@ -174,7 +285,7 @@ func (e *executor) abort(v any) {
 }
 
 // halt releases every worker without recording a panic (cancellation path).
-func (e *executor) halt() {
+func (e *Executor) halt() {
 	e.mu.Lock()
 	e.version++
 	e.cond.Broadcast()
@@ -183,7 +294,7 @@ func (e *executor) halt() {
 }
 
 // domainWorker picks a deterministic worker inside a domain for a task.
-func (e *executor) domainWorker(d int, t int32) int {
+func (e *Executor) domainWorker(d int, t int32) int {
 	if d < 0 {
 		d = 0
 	}
@@ -195,7 +306,7 @@ func (e *executor) domainWorker(d int, t int32) int {
 	return (d*per + int(t)%per) % e.nw
 }
 
-func (e *executor) domainOf(w int) int {
+func (e *Executor) domainOf(w int) int {
 	per := e.nw / e.dom
 	if per == 0 {
 		per = 1
@@ -207,7 +318,17 @@ func (e *executor) domainOf(w int) int {
 	return d
 }
 
-func (e *executor) take(w int) (int32, bool) {
+// rngNext advances worker w's private xorshift64 stream.
+func (e *Executor) rngNext(w int) uint64 {
+	s := e.rng[w].s
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	e.rng[w].s = s
+	return s
+}
+
+func (e *Executor) take(w int) (int32, bool) {
 	// Own queue first, in the configured discipline.
 	if e.disc == LIFO {
 		if t, ok := e.deques[w].Pop(); ok {
@@ -218,10 +339,13 @@ func (e *executor) take(w int) (int32, bool) {
 			return t, ok
 		}
 	}
+	if e.nw == 1 {
+		return 0, false
+	}
 	// Steal: same-domain victims first, then everyone.
 	myDom := e.domainOf(w)
 	for pass := 0; pass < 2; pass++ {
-		start := rand.Intn(e.nw)
+		start := int(e.rngNext(w) % uint64(e.nw))
 		for k := 0; k < e.nw; k++ {
 			v := (start + k) % e.nw
 			if v == w {
@@ -241,7 +365,9 @@ func (e *executor) take(w int) (int32, bool) {
 	return 0, false
 }
 
-func (e *executor) submit(w int, t int32) {
+// route places a newly ready task on a worker's deque (respecting affinity)
+// without waking anyone; the caller batches one wake per ready set.
+func (e *Executor) route(w int, t int32) {
 	target := w
 	if e.opt.Affinity != nil {
 		if d := e.opt.Affinity(t); d >= 0 && e.domainOf(w) != d%e.dom {
@@ -249,10 +375,9 @@ func (e *executor) submit(w int, t int32) {
 		}
 	}
 	e.deques[target].Push(t)
-	e.wake()
 }
 
-func (e *executor) wake() {
+func (e *Executor) wake() {
 	e.mu.Lock()
 	e.version++
 	if e.sleep > 0 {
@@ -261,7 +386,25 @@ func (e *executor) wake() {
 	e.mu.Unlock()
 }
 
-func (e *executor) worker(w int) {
+// finish wakes every parked worker after the last task so they can exit.
+func (e *Executor) finish() {
+	e.mu.Lock()
+	e.version++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// runWorker participates in the current run as worker w until the run
+// completes, is cancelled, or panics.
+func (e *Executor) runWorker(w int) {
+	defer func() {
+		// A panicking task must not kill the worker silently (the pool
+		// would deadlock waiting for its tasks): capture the first panic,
+		// shut the run down, and re-panic on the caller's goroutine in Run.
+		if r := recover(); r != nil {
+			e.abort(r)
+		}
+	}()
 	spins := 0
 	for {
 		if e.total.Load() <= 0 {
@@ -294,20 +437,59 @@ func (e *executor) worker(w int) {
 			continue
 		}
 		spins = 0
+		if e.runChain(w, t) {
+			return // last task of the run executed here
+		}
+	}
+}
+
+// runChain executes task t and then chains depth-first through successors it
+// enables: under LIFO the just-enabled successor that would be popped next is
+// run inline, skipping the deque round-trip and wake; the remaining ready
+// tasks are routed in one batch with a single wake. Returns true when the
+// run's last task executed here.
+func (e *Executor) runChain(w int, t int32) bool {
+	for {
 		e.exec(w, t)
 		e.executed.Add(1)
+		nr := e.ready[w][:0]
 		for _, s := range e.succs(t) {
 			if e.remain[s].Add(-1) == 0 {
-				e.submit(w, s)
+				nr = append(nr, s)
 			}
 		}
-		if e.total.Add(-1) == 0 {
-			// Last task: wake every parked worker so they can exit.
-			e.mu.Lock()
-			e.version++
-			e.cond.Broadcast()
-			e.mu.Unlock()
-			return
+		e.ready[w] = nr // keep grown capacity for reuse
+		if rem := e.total.Add(-1); rem <= 0 {
+			// rem == 0: this was the run's last task — wake parked workers.
+			// rem < 0: the run was halted (cancel/panic) while this task was
+			// in flight; halt already woke everyone. Either way, stop here
+			// rather than chaining into a dead run.
+			if rem == 0 {
+				e.finish()
+			}
+			return true
 		}
+		if len(nr) == 0 {
+			return false
+		}
+		// Inline fast path: under LIFO, the last-routed successor is exactly
+		// the task Pop would return next — run it directly. (FIFO must not
+		// chain: breadth-first order is the HPX personality under study, and
+		// affinity routing may assign the task to another domain.)
+		next := int32(-1)
+		if e.disc == LIFO && e.opt.Affinity == nil {
+			next = nr[len(nr)-1]
+			nr = nr[:len(nr)-1]
+		}
+		if len(nr) > 0 {
+			for _, s := range nr {
+				e.route(w, s)
+			}
+			e.wake()
+		}
+		if next < 0 {
+			return false
+		}
+		t = next
 	}
 }

@@ -152,18 +152,16 @@ func (c *CG) Solve(ctx context.Context, r rt.Runtime, b []float64) ([]float64, f
 	if bn == 0 {
 		return make([]float64, m), 0, 0, nil
 	}
-	// x0 = 0, r0 = b, p0 = r0, rr = r0ᵀr0.
-	zero(c.st.Vec[c.opX])
-	copy(c.st.Vec[c.opR], b)
-	copy(c.st.Vec[c.opP], b)
-	c.st.Scalars[c.opRR] = blas.Dot(b, b)
-
+	c.initState(b)
+	pr := rt.PrepareRun(r, c.g, c.st)
+	defer pr.Close()
 	var relres float64
 	for it := 1; it <= c.MaxIter; it++ {
-		if err := r.Run(ctx, c.g, c.st); err != nil {
+		rnorm, err := c.iterate(ctx, pr)
+		if err != nil {
 			return nil, relres, it - 1, err
 		}
-		relres = c.st.Scalars[c.opRnorm] / bn
+		relres = rnorm / bn
 		if relres < c.Tol {
 			x := append([]float64(nil), c.st.Vec[c.opX]...)
 			return x, relres, it, nil
@@ -171,6 +169,23 @@ func (c *CG) Solve(ctx context.Context, r rt.Runtime, b []float64) ([]float64, f
 	}
 	x := append([]float64(nil), c.st.Vec[c.opX]...)
 	return x, relres, c.MaxIter, errors.New("solver: CG did not converge")
+}
+
+// initState seeds the CG state: x0 = 0, r0 = p0 = b, rr = r0ᵀr0.
+func (c *CG) initState(b []float64) {
+	zero(c.st.Vec[c.opX])
+	copy(c.st.Vec[c.opR], b)
+	copy(c.st.Vec[c.opP], b)
+	c.st.Scalars[c.opRR] = blas.Dot(b, b)
+}
+
+// iterate executes one CG iteration (one full graph run) and returns the
+// residual norm it measured. Steady-state calls perform no heap allocations.
+func (c *CG) iterate(ctx context.Context, pr rt.PreparedRun) (float64, error) {
+	if err := pr.Run(ctx); err != nil {
+		return 0, err
+	}
+	return c.st.Scalars[c.opRnorm], nil
 }
 
 // CGReference is a plain sequential CG on CSR for validation.

@@ -83,6 +83,9 @@ func NewLanczos(a *sparse.CSB, k int) (*Lanczos, error) {
 		return nil, fmt.Errorf("solver: k=%d exceeds matrix dimension %d", k, a.Rows)
 	}
 	l := &Lanczos{A: a, K: k, Tol: 1e-10}
+	// Full capacity up front so per-iteration appends never reallocate.
+	l.alpha = make([]float64, 0, k)
+	l.beta = make([]float64, 0, k)
 	p := program.New(a.Rows, a.Block)
 	l.prog = p
 	l.opA = p.Sparse("A")
@@ -133,60 +136,18 @@ func (l *Lanczos) Run(ctx context.Context, r rt.Runtime, seed int64) (Result, er
 	if r == nil {
 		r = rt.NewBSP(rt.Options{Workers: 1})
 	}
-	m := l.A.Rows
-	l.alpha = l.alpha[:0]
-	l.beta = l.beta[:0]
-
-	// q0 = b/‖b‖ for a random b.
-	rng := rand.New(rand.NewSource(seed))
-	q := l.st.Vec[l.opQ]
-	for i := range q {
-		q[i] = rng.NormFloat64()
-	}
-	blas.Scal(1/blas.Nrm2(q), q)
-	qb := l.st.Vec[l.opQb]
-	for i := range qb {
-		qb[i] = 0
-	}
-	for i := 0; i < m; i++ {
-		qb[i*l.K] = q[i] // basis column 0
-	}
-
+	l.initState(seed)
+	pr := rt.PrepareRun(r, l.g, l.st)
+	defer pr.Close()
 	var res Result
 	for it := 1; it <= l.K; it++ {
-		if err := r.Run(ctx, l.g, l.st); err != nil {
+		stop, err := l.iterate(ctx, pr, it, &res)
+		if err != nil {
 			return res, err
 		}
-		// α_i is the projection of z on q_{i-1} = basis column it-1.
-		c := l.st.Small[l.opC]
-		l.alpha = append(l.alpha, c[it-1])
-		beta := l.st.Scalars[l.opBt]
-		res.Iterations = it
-		res.Residual = beta
-		// Relative breakdown test: β shrinks to rounding level (relative to
-		// the Ritz scale |α₁|) exactly when the Krylov space is exhausted.
-		scale := 1.0
-		if a0 := l.alpha[0]; a0 > scale || -a0 > scale {
-			scale = a0
-			if scale < 0 {
-				scale = -scale
-			}
-		}
-		if beta < l.Tol*scale {
-			// Invariant subspace: the Krylov space is exhausted.
-			res.Converged = true
+		if stop {
 			break
 		}
-		if it == l.K {
-			break // last vector not needed
-		}
-		l.beta = append(l.beta, beta)
-		// Host epilogue: append qn as basis column `it` and advance q.
-		qn := l.st.Vec[l.opQn]
-		for i := 0; i < m; i++ {
-			qb[i*l.K+it] = qn[i]
-		}
-		copy(l.st.Vec[l.opQ], qn)
 	}
 
 	// Ritz values of the tridiagonal (α, β) via implicit QL.
@@ -203,6 +164,67 @@ func (l *Lanczos) Run(ctx context.Context, r rt.Runtime, seed int64) (Result, er
 		res.Converged = res.Iterations == l.K
 	}
 	return res, nil
+}
+
+// initState seeds the Lanczos state: q0 = b/‖b‖ for a random b, basis
+// column 0 = q0, empty recurrence coefficients.
+func (l *Lanczos) initState(seed int64) {
+	l.alpha = l.alpha[:0]
+	l.beta = l.beta[:0]
+	rng := rand.New(rand.NewSource(seed))
+	q := l.st.Vec[l.opQ]
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	blas.Scal(1/blas.Nrm2(q), q)
+	qb := l.st.Vec[l.opQb]
+	clear(qb)
+	for i := 0; i < l.A.Rows; i++ {
+		qb[i*l.K] = q[i] // basis column 0
+	}
+}
+
+// iterate runs Lanczos iteration it: one graph execution plus the O(m) host
+// epilogue. Steady-state calls perform no heap allocations — alpha/beta have
+// full capacity and the prepared executor reuses its scheduler state. It
+// returns stop=true when the process is done: breakdown (res.Converged set)
+// or the final iteration.
+func (l *Lanczos) iterate(ctx context.Context, pr rt.PreparedRun, it int, res *Result) (bool, error) {
+	if err := pr.Run(ctx); err != nil {
+		return true, err
+	}
+	// α_i is the projection of z on q_{i-1} = basis column it-1.
+	c := l.st.Small[l.opC]
+	l.alpha = append(l.alpha, c[it-1])
+	beta := l.st.Scalars[l.opBt]
+	res.Iterations = it
+	res.Residual = beta
+	// Relative breakdown test: β shrinks to rounding level (relative to
+	// the Ritz scale |α₁|) exactly when the Krylov space is exhausted.
+	scale := 1.0
+	if a0 := l.alpha[0]; a0 > scale || -a0 > scale {
+		scale = a0
+		if scale < 0 {
+			scale = -scale
+		}
+	}
+	if beta < l.Tol*scale {
+		// Invariant subspace: the Krylov space is exhausted.
+		res.Converged = true
+		return true, nil
+	}
+	if it == l.K {
+		return true, nil // last vector not needed
+	}
+	l.beta = append(l.beta, beta)
+	// Host epilogue: append qn as basis column `it` and advance q.
+	qn := l.st.Vec[l.opQn]
+	qb := l.st.Vec[l.opQb]
+	for i := 0; i < l.A.Rows; i++ {
+		qb[i*l.K+it] = qn[i]
+	}
+	copy(l.st.Vec[l.opQ], qn)
+	return false, nil
 }
 
 // RitzVectors returns the Ritz vectors paired with the first `want` Ritz

@@ -54,6 +54,7 @@ type LOBPCG struct {
 	opCP, opCR, opCQ, opLam             program.OperandID
 	opRnorm                             program.OperandID
 	firstIteration                      bool
+	ws                                  *rrWorkspace
 }
 
 // Option configures a LOBPCG solver at construction.
@@ -172,6 +173,7 @@ func NewLOBPCG(a *sparse.CSB, n int, opts ...Option) (*LOBPCG, error) {
 	l.g = g
 	l.st = program.NewStore(p)
 	l.st.SetSparse(l.opA, a)
+	l.ws = newRRWorkspace(n)
 	return l, nil
 }
 
@@ -191,12 +193,14 @@ func (l *LOBPCG) Program() *program.Program { return l.prog }
 // rayleighRitz solves the 3n×3n generalized eigenproblem G·c = λ·O·c on the
 // Gram blocks, with rank filtering to tolerate the zero Q block of the first
 // iteration and near-dependent directions later. It writes the coefficient
-// splits CP/CR/CQ and the Ritz values.
+// splits CP/CR/CQ and the Ritz values. All scratch comes from the solver's
+// workspace arena: steady-state calls allocate nothing.
 func (l *LOBPCG) rayleighRitz(st *program.Store) {
 	n := l.N
 	d := 3 * n
-	G := make([]float64, d*d)
-	O := make([]float64, d*d)
+	ws := l.ws
+	G := ws.g
+	O := ws.o
 	set := func(dst []float64, bi, bj int, m []float64, transpose bool) {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
@@ -244,8 +248,8 @@ func (l *LOBPCG) rayleighRitz(st *program.Store) {
 
 	// Soft-orthogonalize the basis: O = V·D·Vᵀ, keep directions with
 	// D_i > ε·max(D), W = V_kept·D^{-1/2}.
-	ovals, ovecs, err := blas.SymEig(O, d)
-	if err != nil {
+	ovals, ovecs := ws.oVals, ws.oVecs
+	if err := blas.SymEigInto(O, d, ws.eigWork, ovals, ovecs); err != nil {
 		// Leave previous coefficients in place; the solver will flag
 		// breakdown via the residual not improving.
 		return
@@ -255,7 +259,7 @@ func (l *LOBPCG) rayleighRitz(st *program.Store) {
 		return
 	}
 	tol := 1e-12 * dmax
-	var keep []int
+	keep := ws.keep[:0]
 	for i := 0; i < d; i++ {
 		if ovals[i] > tol {
 			keep = append(keep, i)
@@ -265,7 +269,7 @@ func (l *LOBPCG) rayleighRitz(st *program.Store) {
 	if r < n {
 		return
 	}
-	w := make([]float64, d*r) // d×r, W columns = kept scaled eigvecs
+	w := ws.w[:d*r] // d×r, W columns = kept scaled eigvecs
 	for kk, col := range keep {
 		s := 1 / math.Sqrt(ovals[col])
 		for i := 0; i < d; i++ {
@@ -273,9 +277,9 @@ func (l *LOBPCG) rayleighRitz(st *program.Store) {
 		}
 	}
 	// Gt = Wᵀ·G·W (r×r).
-	gw := make([]float64, d*r)
+	gw := ws.gw[:d*r]
 	blas.Gemm(1, G, d, d, w, r, 0, gw)
-	gt := make([]float64, r*r)
+	gt := ws.gt[:r*r]
 	blas.GemmTN(1, w, d, r, gw, r, 0, gt)
 	for i := 0; i < r; i++ {
 		for j := i + 1; j < r; j++ {
@@ -283,18 +287,18 @@ func (l *LOBPCG) rayleighRitz(st *program.Store) {
 			gt[i*r+j], gt[j*r+i] = v, v
 		}
 	}
-	evals, evecs, err := blas.SymEig(gt, r)
-	if err != nil {
+	evals, evecs := ws.tVals, ws.tVecs
+	if err := blas.SymEigInto(gt, r, ws.eigWork, evals, evecs); err != nil {
 		return
 	}
 	// C = W·U[:, :n] — smallest n Ritz pairs.
-	u := make([]float64, r*n)
+	u := ws.u[:r*n]
 	for i := 0; i < r; i++ {
 		for j := 0; j < n; j++ {
 			u[i*n+j] = evecs[i*r+j]
 		}
 	}
-	c3 := make([]float64, d*n)
+	c3 := ws.c3[:d*n]
 	blas.Gemm(1, w, d, r, u, n, 0, c3)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -327,33 +331,19 @@ func (l *LOBPCG) Run(ctx context.Context, r rt.Runtime, seed int64, iters int) (
 		maxIter = iters
 		fixed = true
 	}
-	m := l.A.Rows
-	n := l.N
-
-	// Ψ0: random orthonormal block; HΨ0 = A·Ψ0 (host init, excluded from
-	// iteration timing just as the paper excludes setup).
-	rng := rand.New(rand.NewSource(seed))
-	psi := l.st.Vec[l.opPsi]
-	for i := range psi {
-		psi[i] = rng.NormFloat64()
+	if err := l.initState(seed); err != nil {
+		return Result{}, err
 	}
-	if err := blas.Orthonormalize(psi, m, n); err != nil {
-		return Result{}, fmt.Errorf("solver: LOBPCG init: %w", err)
-	}
-	l.A.SpMM(l.st.Vec[l.opHPsi], psi, n)
-	zero(l.st.Vec[l.opQ])
-	zero(l.st.Vec[l.opHQ])
-	if l.precondition {
-		fillInverseDiagonal(l.st.Vec[l.opDinv], l.A)
-	}
-
+	pr := rt.PrepareRun(r, l.g, l.st)
+	defer pr.Close()
 	var res Result
 	for it := 1; it <= maxIter; it++ {
-		if err := r.Run(ctx, l.g, l.st); err != nil {
+		resid, err := l.iterate(ctx, pr)
+		if err != nil {
 			return res, err
 		}
 		res.Iterations = it
-		res.Residual = l.st.Scalars[l.opRnorm]
+		res.Residual = resid
 		if !fixed && res.Residual < l.Tol {
 			res.Converged = true
 			break
@@ -367,10 +357,42 @@ func (l *LOBPCG) Run(ctx context.Context, r rt.Runtime, seed int64, iters int) (
 	return res, nil
 }
 
-func zero(s []float64) {
-	for i := range s {
-		s[i] = 0
+// initState seeds the LOBPCG state: Ψ0 is a random orthonormal block,
+// HΨ0 = A·Ψ0, and the conjugate-direction blocks start at zero (host init,
+// excluded from iteration timing just as the paper excludes setup).
+func (l *LOBPCG) initState(seed int64) error {
+	m := l.A.Rows
+	n := l.N
+	rng := rand.New(rand.NewSource(seed))
+	psi := l.st.Vec[l.opPsi]
+	for i := range psi {
+		psi[i] = rng.NormFloat64()
 	}
+	if err := blas.Orthonormalize(psi, m, n); err != nil {
+		return fmt.Errorf("solver: LOBPCG init: %w", err)
+	}
+	l.A.SpMM(l.st.Vec[l.opHPsi], psi, n)
+	zero(l.st.Vec[l.opQ])
+	zero(l.st.Vec[l.opHQ])
+	if l.precondition {
+		fillInverseDiagonal(l.st.Vec[l.opDinv], l.A)
+	}
+	return nil
+}
+
+// iterate executes one LOBPCG iteration (one full graph run) and returns the
+// Frobenius residual norm it measured. Steady-state calls perform no heap
+// allocations: the graph, store, prepared executor, and Rayleigh–Ritz
+// workspace are all reused.
+func (l *LOBPCG) iterate(ctx context.Context, pr rt.PreparedRun) (float64, error) {
+	if err := pr.Run(ctx); err != nil {
+		return 0, err
+	}
+	return l.st.Scalars[l.opRnorm], nil
+}
+
+func zero(s []float64) {
+	clear(s)
 }
 
 // fillInverseDiagonal extracts 1/diag(A) from the CSB matrix; zero or

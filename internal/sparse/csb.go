@@ -107,30 +107,111 @@ func (a *CSR) ToCSB(block int) *CSB { return a.ToCOO().ToCSB(block) }
 // BlockSpMV computes y[bi·b : ...] += A(bi,bj) · x[bj·b : ...] for one tile.
 // x and y are the full input/output vectors; the tile offsets are applied
 // internally. This is the unit of work of one SpMV task.
+//
+// The entry loop is unrolled 4× over sequential statements, which preserves
+// the exact accumulation order of the scalar loop (bit-identical results);
+// the tile's coordinate and value arrays are re-sliced once so the per-entry
+// bounds checks on them vanish.
 func (a *CSB) BlockSpMV(y, x []float64, bi, bj int) {
 	k := a.BlockIndex(bi, bj)
-	ro := int64(bi) * int64(a.Block)
-	co := int64(bj) * int64(a.Block)
-	for p := a.BlkPtr[k]; p < a.BlkPtr[k+1]; p++ {
-		y[ro+int64(a.RI[p])] += a.V[p] * x[co+int64(a.CI[p])]
+	lo, hi := a.BlkPtr[k], a.BlkPtr[k+1]
+	if lo == hi {
+		return
+	}
+	v := a.V[lo:hi]
+	ri := a.RI[lo:hi:hi]
+	ci := a.CI[lo:hi:hi]
+	ri = ri[:len(v)]
+	ci = ci[:len(v)]
+	ys := y[bi*a.Block:]
+	xs := x[bj*a.Block:]
+	p := 0
+	for ; p+4 <= len(v); p += 4 {
+		ys[ri[p]] += v[p] * xs[ci[p]]
+		ys[ri[p+1]] += v[p+1] * xs[ci[p+1]]
+		ys[ri[p+2]] += v[p+2] * xs[ci[p+2]]
+		ys[ri[p+3]] += v[p+3] * xs[ci[p+3]]
+	}
+	for ; p < len(v); p++ {
+		ys[ri[p]] += v[p] * xs[ci[p]]
 	}
 }
 
 // BlockSpMM computes Y[tile bi] += A(bi,bj) · X[tile bj] for one tile, where
 // X and Y are dense row-major vector blocks with n columns. This is the unit
 // of work of one SpMM task.
+//
+// The LOBPCG block widths get dedicated paths: n==1 degenerates to SpMV, and
+// n∈{2,4,8} use fixed-width bodies whose row updates compile to constant
+// offsets with a single bounds check per entry. Column updates within an
+// entry are independent outputs, so unrolling them is bit-identical to the
+// scalar loop. The generic path handles every other width.
 func (a *CSB) BlockSpMM(y, x []float64, n, bi, bj int) {
 	k := a.BlockIndex(bi, bj)
-	ro := int64(bi) * int64(a.Block) * int64(n)
-	co := int64(bj) * int64(a.Block) * int64(n)
-	for p := a.BlkPtr[k]; p < a.BlkPtr[k+1]; p++ {
-		v := a.V[p]
-		yr := ro + int64(a.RI[p])*int64(n)
-		xr := co + int64(a.CI[p])*int64(n)
-		yi := y[yr : yr+int64(n)]
-		xj := x[xr : xr+int64(n)]
-		for c := 0; c < n; c++ {
-			yi[c] += v * xj[c]
+	lo, hi := a.BlkPtr[k], a.BlkPtr[k+1]
+	if lo == hi {
+		return
+	}
+	v := a.V[lo:hi]
+	ri := a.RI[lo:hi:hi]
+	ci := a.CI[lo:hi:hi]
+	ri = ri[:len(v)]
+	ci = ci[:len(v)]
+	ys := y[bi*a.Block*n:]
+	xs := x[bj*a.Block*n:]
+	switch n {
+	case 1:
+		for p := range v {
+			ys[ri[p]] += v[p] * xs[ci[p]]
+		}
+	case 2:
+		for p := range v {
+			vv := v[p]
+			yi := ys[int(ri[p])*2:]
+			xj := xs[int(ci[p])*2:]
+			yi[0] += vv * xj[0]
+			yi[1] += vv * xj[1]
+		}
+	case 4:
+		for p := range v {
+			vv := v[p]
+			yi := ys[int(ri[p])*4:]
+			xj := xs[int(ci[p])*4:]
+			yi[0] += vv * xj[0]
+			yi[1] += vv * xj[1]
+			yi[2] += vv * xj[2]
+			yi[3] += vv * xj[3]
+		}
+	case 8:
+		for p := range v {
+			vv := v[p]
+			yi := ys[int(ri[p])*8:][:8]
+			xj := xs[int(ci[p])*8:][:8]
+			yi[0] += vv * xj[0]
+			yi[1] += vv * xj[1]
+			yi[2] += vv * xj[2]
+			yi[3] += vv * xj[3]
+			yi[4] += vv * xj[4]
+			yi[5] += vv * xj[5]
+			yi[6] += vv * xj[6]
+			yi[7] += vv * xj[7]
+		}
+	default:
+		for p := range v {
+			vv := v[p]
+			yi := ys[int(ri[p])*n:][:n]
+			xj := xs[int(ci[p])*n:][:n]
+			xj = xj[:len(yi)]
+			c := 0
+			for ; c+4 <= len(yi); c += 4 {
+				yi[c] += vv * xj[c]
+				yi[c+1] += vv * xj[c+1]
+				yi[c+2] += vv * xj[c+2]
+				yi[c+3] += vv * xj[c+3]
+			}
+			for ; c < len(yi); c++ {
+				yi[c] += vv * xj[c]
+			}
 		}
 	}
 }
@@ -141,14 +222,10 @@ func (a *CSB) SpMV(y, x []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic(fmt.Sprintf("sparse: CSB SpMV shape mismatch: A is %dx%d, x %d, y %d", a.Rows, a.Cols, len(x), len(y)))
 	}
-	for i := range y {
-		y[i] = 0
-	}
+	clear(y)
 	for bi := 0; bi < a.NBR; bi++ {
 		for bj := 0; bj < a.NBC; bj++ {
-			if a.BlockNNZ(bi, bj) > 0 {
-				a.BlockSpMV(y, x, bi, bj)
-			}
+			a.BlockSpMV(y, x, bi, bj)
 		}
 	}
 }
@@ -159,14 +236,10 @@ func (a *CSB) SpMM(y, x []float64, n int) {
 	if len(x) != a.Cols*n || len(y) != a.Rows*n {
 		panic(fmt.Sprintf("sparse: CSB SpMM shape mismatch: A is %dx%d n=%d len(x)=%d len(y)=%d", a.Rows, a.Cols, n, len(x), len(y)))
 	}
-	for i := range y {
-		y[i] = 0
-	}
+	clear(y)
 	for bi := 0; bi < a.NBR; bi++ {
 		for bj := 0; bj < a.NBC; bj++ {
-			if a.BlockNNZ(bi, bj) > 0 {
-				a.BlockSpMM(y, x, n, bi, bj)
-			}
+			a.BlockSpMM(y, x, n, bi, bj)
 		}
 	}
 }

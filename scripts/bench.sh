@@ -1,0 +1,23 @@
+#!/bin/sh
+# bench.sh — reproducible performance baseline for the exec-mode hot paths.
+#
+# Runs cmd/perfbench (kernel microbenches, fixed-iteration solver runs per
+# backend, a short in-process solverd load run) and writes/updates
+# BENCH_PR3.json. The stored "baseline" section is preserved across runs so
+# the committed file always shows current-vs-baseline speedups; use
+# `-reset-baseline` (forwarded) to start a new trajectory.
+#
+#   ./scripts/bench.sh                      # standard run, updates BENCH_PR3.json
+#   BENCHTIME=1s ./scripts/bench.sh         # longer per-bench measuring time
+#   ./scripts/bench.sh -loadgen 0           # skip the serving-layer section
+#
+# Compare two bench runs statistically with benchstat on the go test harness:
+#   go test -run=NONE -bench=. -benchmem -count=10 > new.txt && benchstat old.txt new.txt
+set -e
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR3.json}"
+BENCHTIME="${BENCHTIME:-300ms}"
+
+go build ./...
+exec go run ./cmd/perfbench -out "$OUT" -benchtime "$BENCHTIME" "$@"
