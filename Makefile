@@ -22,10 +22,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving layer and scheduler are the concurrency hot spots; they must
-# also pass under the race detector.
+# The serving layer, scheduler, runtime backends, and graph builder are the
+# concurrency hot spots; they must also pass under the race detector (the
+# hierarchical steal paths in sched and rt especially).
 race:
-	$(GO) test -race ./internal/server/... ./internal/sched/...
+	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/graph/... ./internal/rt/...
 
 # Short fuzz session for the MatrixMarket parser (regression seeds always run
 # as part of `make test`).

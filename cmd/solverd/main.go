@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sparsetask/internal/server"
+	"sparsetask/internal/topo"
 )
 
 func main() {
@@ -27,15 +28,23 @@ func main() {
 	workers := flag.Int("workers", 2, "pool size: jobs executing concurrently")
 	rtWorkers := flag.Int("rt-workers", 0, "runtime workers per job (0 = GOMAXPROCS)")
 	planCache := flag.Int("plan-cache", 128, "autotune plan cache capacity")
+	topoName := flag.String("topo", "flat",
+		"machine-topology profile for locality-aware scheduling: flat, auto, broadwell, epyc")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight jobs before hard-cancelling them")
 	flag.Parse()
+
+	tp, err := topo.ByName(*topoName)
+	if err != nil {
+		log.Fatalf("-topo: %v", err)
+	}
 
 	srv := server.New(server.Config{
 		QueueSize:     *queue,
 		Workers:       *workers,
 		RTWorkers:     *rtWorkers,
 		PlanCacheSize: *planCache,
+		Topo:          tp.Name,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -44,7 +53,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("solverd listening on %s (pool=%d queue=%d)", *addr, *workers, *queue)
+	log.Printf("solverd listening on %s (pool=%d queue=%d topo=%s)", *addr, *workers, *queue, tp)
 
 	select {
 	case err := <-errc:

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -320,4 +321,43 @@ func itoa(n int) string {
 		return "8"
 	}
 	return "?"
+}
+
+func TestLocality(t *testing.T) {
+	r, err := runLocality(tinyCfg("inline1", "nlpkkt160"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "exec/deepsparse") || !strings.Contains(b.String(), "sim/inline1") {
+		t.Fatalf("report missing expected rows:\n%s", b.String())
+	}
+	// The §5.2 A/B: with machine, costs, and overheads held fixed, the
+	// hierarchical steal topology must beat uniform-random stealing on both
+	// LLC misses and the cross-domain miss share — strictly, per matrix (the
+	// simulator is deterministic under a fixed seed).
+	for _, name := range []string{"inline1", "nlpkkt160"} {
+		hier := r.Metrics["sim/"+name+"/l3_hier"]
+		rand := r.Metrics["sim/"+name+"/l3_rand"]
+		if hier <= 0 || rand <= 0 {
+			t.Fatalf("%s: missing miss metrics (hier %v, rand %v)", name, hier, rand)
+		}
+		if hier >= rand {
+			t.Errorf("%s: hierarchical stealing should miss less: %v >= %v", name, hier, rand)
+		}
+		if rs, rr := r.Metrics["sim/"+name+"/remote_share_hier"], r.Metrics["sim/"+name+"/remote_share_rand"]; rs >= rr {
+			t.Errorf("%s: hierarchical remote share %v >= random %v", name, rs, rr)
+		}
+	}
+	for _, backend := range []string{"deepsparse", "hpx", "regent"} {
+		for _, bc := range localityBlockCounts {
+			key := fmt.Sprintf("exec/%s/%d/dom_share", backend, bc)
+			if s, ok := r.Metrics[key]; !ok || s < 0 || s > 1 {
+				t.Errorf("%s: bad or missing share %v", key, s)
+			}
+		}
+	}
 }

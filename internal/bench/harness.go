@@ -172,6 +172,7 @@ func All() []Experiment {
 		{"fig13", "Fig. 13", "LOBPCG execution flow graph (nlpkkt240 analog)", runFig13},
 		{"fig14", "Fig. 14", "performance profiles of block-count bins (LOBPCG)", runFig14},
 		{"heuristic", "§5.4", "block-size sweep: tasking overhead vs parallelism", runHeuristic},
+		{"locality", "§5.2", "hierarchical vs uniform-random stealing: locality and LLC misses", runLocality},
 		{"ablation", "§5.1", "scheduling ablations: HPX NUMA hints, Regent tracing, depth-first bias", runAblation},
 		{"futurework", "§6", "distributed memory: hpx-dist vs mpi+omp over 1-8 nodes", runFutureWork},
 		{"headline", "Abstract", "headline speedups and cache-miss reductions", runHeadline},

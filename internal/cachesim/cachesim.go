@@ -30,6 +30,21 @@ type Counters struct {
 	// controller — the input to the bandwidth-contention model (serial
 	// initialization funnels everything through domain 0).
 	DomLines [MaxDomains]int64
+	// ByDomain attributes misses to the *accessing* core's domain — filled
+	// only when the hierarchy runs with DomainAware set. Where DomLines asks
+	// "whose memory served this line", ByDomain asks "whose cores went to
+	// memory", which is what a locality-aware scheduler changes.
+	ByDomain [MaxDomains]DomainCounters
+}
+
+// DomainCounters is the per-accessing-domain miss breakdown of the
+// domain-aware mode: LLC misses issued by the domain's cores, split into
+// lines its own memory served (Local) and lines fetched cross-domain
+// (Remote).
+type DomainCounters struct {
+	L3Miss int64
+	Local  int64
+	Remote int64
 }
 
 // Add accumulates other into c.
@@ -46,6 +61,11 @@ func (c *Counters) Add(o Counters) {
 	c.PagesFirstTouch += o.PagesFirstTouch
 	for d := range c.DomLines {
 		c.DomLines[d] += o.DomLines[d]
+	}
+	for d := range c.ByDomain {
+		c.ByDomain[d].L3Miss += o.ByDomain[d].L3Miss
+		c.ByDomain[d].Local += o.ByDomain[d].Local
+		c.ByDomain[d].Remote += o.ByDomain[d].Remote
 	}
 }
 
@@ -119,6 +139,12 @@ type Hierarchy struct {
 	// page lives in domain 0 (the serial-initialization pathology of the
 	// paper's Fig. 5).
 	FirstTouch bool
+	// DomainAware additionally attributes every LLC miss to the accessing
+	// core's domain in Counters.ByDomain — the per-domain view the §5.2
+	// locality experiment compares across stealing policies. Off by default
+	// because the extra accounting is pure overhead for the other
+	// experiments.
+	DomainAware bool
 
 	l1, l2 []*cache // per core
 	l3     []*cache // per L3 group
@@ -207,6 +233,15 @@ func (h *Hierarchy) Access(core int, base uint64, bytes int64, write bool, ctr *
 		}
 		if int(owner) < MaxDomains {
 			ctr.DomLines[owner]++
+		}
+		if h.DomainAware && dom < MaxDomains {
+			bd := &ctr.ByDomain[dom]
+			bd.L3Miss++
+			if int(owner) == dom {
+				bd.Local++
+			} else {
+				bd.Remote++
+			}
 		}
 	}
 }

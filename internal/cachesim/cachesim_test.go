@@ -201,3 +201,52 @@ func TestWritebackChargesOwnerDomain(t *testing.T) {
 		t.Fatalf("writebacks should charge domain 1: %+v", c.DomLines)
 	}
 }
+
+func TestDomainAwareAttribution(t *testing.T) {
+	// Core 0 (domain 0) first-touches region A; core 3 (domain 1) then
+	// streams it cross-domain. DomainAware mode must attribute domain 1's
+	// misses as remote and domain 0's cold misses as local, and the
+	// per-domain L3Miss counts must sum to the global one.
+	h := New(tinyModel(), true)
+	h.DomainAware = true
+	var c Counters
+	h.Access(0, 0x100000, 4096, false, &c)   // cold, places pages in domain 0
+	h.Access(3, 0x200000, 4096, false, &c)   // cold, places pages in domain 1
+	h.Access(3, 0x100000, 64<<10, false, &c) // flush domain-1 caches...
+	h.Access(3, 0x100000, 4096, false, &c)   // ...then re-fetch A remotely
+
+	if c.ByDomain[0].L3Miss == 0 || c.ByDomain[0].Remote != 0 {
+		t.Fatalf("domain 0 should have only local misses: %+v", c.ByDomain[0])
+	}
+	if c.ByDomain[1].Remote == 0 {
+		t.Fatalf("domain 1 should have remote misses: %+v", c.ByDomain[1])
+	}
+	var sum int64
+	for d := range c.ByDomain {
+		bd := c.ByDomain[d]
+		if bd.Local+bd.Remote != bd.L3Miss {
+			t.Fatalf("domain %d: local %d + remote %d != l3miss %d", d, bd.Local, bd.Remote, bd.L3Miss)
+		}
+		sum += bd.L3Miss
+	}
+	if sum != c.L3Miss {
+		t.Fatalf("per-domain misses sum to %d, global %d", sum, c.L3Miss)
+	}
+
+	// Off by default: a fresh hierarchy leaves ByDomain untouched.
+	h2 := New(tinyModel(), true)
+	var c2 Counters
+	h2.Access(0, 0x100000, 4096, false, &c2)
+	if c2.ByDomain[0].L3Miss != 0 {
+		t.Fatalf("ByDomain filled without DomainAware: %+v", c2.ByDomain[0])
+	}
+
+	// Add must merge the per-domain block.
+	var a, b Counters
+	a.ByDomain[1] = DomainCounters{L3Miss: 2, Local: 1, Remote: 1}
+	b.ByDomain[1] = DomainCounters{L3Miss: 3, Local: 3}
+	a.Add(b)
+	if a.ByDomain[1] != (DomainCounters{L3Miss: 5, Local: 4, Remote: 1}) {
+		t.Fatalf("Add merged to %+v", a.ByDomain[1])
+	}
+}

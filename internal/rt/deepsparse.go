@@ -13,10 +13,13 @@ import (
 // dependency-counting executor; the master submits root tasks in depth-first
 // topological order (the order the TDG generator emits them) and workers use
 // LIFO local deques with work stealing, giving the depth-first, pipelined
-// execution OpenMP task scheduling exhibits in the paper.
+// execution OpenMP task scheduling exhibits in the paper. With a multi-domain
+// Options.Topo, tasks carry their row band's domain hint and workers steal
+// hierarchically.
 type DeepSparse struct {
 	opt   Options
 	epoch time.Time
+	acc   sched.LocalityAccumulator
 }
 
 // NewDeepSparse returns the OpenMP-task-style runtime.
@@ -27,19 +30,24 @@ func NewDeepSparse(opt Options) *DeepSparse {
 // Name implements Runtime.
 func (r *DeepSparse) Name() string { return "deepsparse" }
 
-func (r *DeepSparse) schedOptions() sched.Options {
-	return sched.Options{
+// Locality implements LocalityReporter: lifetime counters across every
+// execution this runtime has closed.
+func (r *DeepSparse) Locality() sched.LocalityStats { return r.acc.Snapshot() }
+
+func (r *DeepSparse) schedOptions(g *graph.TDG) sched.Options {
+	opt := sched.Options{
 		Workers:    r.opt.workers(),
 		Discipline: sched.LIFO,
 	}
+	applyTopo(&opt, r.opt.Topo, g)
+	return opt
 }
 
 // Run implements Runtime.
 func (r *DeepSparse) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
-	body := taskBody(g, st, r.opt.Recorder, r.epoch)
-	return sched.RunGraph(ctx, len(g.Tasks), indegrees(g),
-		func(i int32) []int32 { return g.Tasks[i].Succs },
-		g.Roots, body, r.schedOptions())
+	p := r.Prepare(g, st)
+	defer p.Close()
+	return p.Run(ctx)
 }
 
 // Prepare implements Preparer: dependency counts, deques, and the worker
@@ -47,5 +55,5 @@ func (r *DeepSparse) Run(ctx context.Context, g *graph.TDG, st *program.Store) e
 // "parallel region kept alive across iterations" analog.
 func (r *DeepSparse) Prepare(g *graph.TDG, st *program.Store) PreparedRun {
 	body := taskBody(g, st, r.opt.Recorder, r.epoch)
-	return newExecutorRun(g, body, r.schedOptions())
+	return newExecutorRun(g, body, r.schedOptions(g), &r.acc)
 }

@@ -7,18 +7,21 @@ import (
 	"sparsetask/internal/graph"
 	"sparsetask/internal/program"
 	"sparsetask/internal/sched"
+	"sparsetask/internal/topo"
 )
 
 // HPX is the futures/dataflow analog: tasks become ready as their input
 // futures resolve and are drained FIFO with work stealing, yielding the
 // breadth-first, "shuffled" execution order the paper observes in HPX flow
-// graphs (Fig. 13). With NUMADomains > 1, ready tasks carry a locality hint
-// mapping their data partition to a domain and are routed to workers in that
-// domain — the scheduling-hint optimization that bought HPX ~50% on EPYC
-// (§5.1, "Other Attempts").
+// graphs (Fig. 13). With a multi-domain topology (Options.Topo, or the
+// legacy NUMADomains count), ready tasks carry a locality hint mapping their
+// data partition to a domain and are routed to workers in that domain — the
+// scheduling-hint optimization that bought HPX ~50% on EPYC (§5.1, "Other
+// Attempts").
 type HPX struct {
 	opt   Options
 	epoch time.Time
+	acc   sched.LocalityAccumulator
 }
 
 // NewHPX returns the HPX-style runtime.
@@ -27,39 +30,34 @@ func NewHPX(opt Options) *HPX { return &HPX{opt: opt, epoch: time.Now()} }
 // Name implements Runtime.
 func (r *HPX) Name() string { return "hpx" }
 
+// Locality implements LocalityReporter: lifetime counters across every
+// execution this runtime has closed.
+func (r *HPX) Locality() sched.LocalityStats { return r.acc.Snapshot() }
+
 func (r *HPX) schedOptions(g *graph.TDG) sched.Options {
 	opt := sched.Options{
 		Workers:    r.opt.workers(),
 		Discipline: sched.FIFO,
 	}
-	if r.opt.NUMADomains > 1 {
-		dom := r.opt.NUMADomains
-		np := g.Prog.NP
-		opt.Domains = dom
-		opt.Affinity = func(t int32) int {
-			p := g.Tasks[t].P
-			if p < 0 {
-				return -1 // reductions have no single home partition
-			}
-			// Contiguous partition→domain map, mirroring first-touch page
-			// placement of block-partitioned vectors.
-			return int(int64(p) * int64(dom) / int64(np))
-		}
+	tp := r.opt.Topo
+	if tp.DomainCount(opt.Workers) <= 1 && r.opt.NUMADomains > 1 {
+		// Legacy NUMADomains callers get an anonymous profile of that shape.
+		tp = topo.Topology{Name: "numa", Domains: r.opt.NUMADomains}
 	}
+	applyTopo(&opt, tp, g)
 	return opt
 }
 
 // Run implements Runtime.
 func (r *HPX) Run(ctx context.Context, g *graph.TDG, st *program.Store) error {
-	body := taskBody(g, st, r.opt.Recorder, r.epoch)
-	return sched.RunGraph(ctx, len(g.Tasks), indegrees(g),
-		func(i int32) []int32 { return g.Tasks[i].Succs },
-		g.Roots, body, r.schedOptions(g))
+	p := r.Prepare(g, st)
+	defer p.Close()
+	return p.Run(ctx)
 }
 
 // Prepare implements Preparer: scheduler state and the worker pool persist
 // across PreparedRun.Run calls.
 func (r *HPX) Prepare(g *graph.TDG, st *program.Store) PreparedRun {
 	body := taskBody(g, st, r.opt.Recorder, r.epoch)
-	return newExecutorRun(g, body, r.schedOptions(g))
+	return newExecutorRun(g, body, r.schedOptions(g), &r.acc)
 }

@@ -2,12 +2,14 @@ package rt
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sparsetask/internal/graph"
 	"sparsetask/internal/program"
+	"sparsetask/internal/sched"
 )
 
 // Regent is the region/privilege analog of the Regent/Legion runtime: a
@@ -24,9 +26,15 @@ import (
 // observation that Regent degrades sharply as task counts grow (§5.4,
 // "Regent has scaling issues with regard to creation or scheduling of large
 // number of tasks").
+//
+// With a multi-domain Options.Topo, the shared ready queue splits into one
+// FIFO per locality domain (Legion's per-node ready queues): issued tasks
+// enqueue to their row band's home domain and workers drain their own
+// domain's queue before pulling from the others.
 type Regent struct {
 	opt   Options
 	epoch time.Time
+	acc   sched.LocalityAccumulator
 
 	mu       sync.Mutex
 	analyzed map[*graph.TDG]bool
@@ -50,6 +58,10 @@ func NewRegent(opt Options) *Regent {
 
 // Name implements Runtime.
 func (r *Regent) Name() string { return "regent" }
+
+// Locality implements LocalityReporter: lifetime counters across completed
+// multi-domain runs (flat runs use one shared queue and count nothing).
+func (r *Regent) Locality() sched.LocalityStats { return r.acc.Snapshot() }
 
 // Run implements Runtime. Cancellation stops both the analysis pipeline and
 // the workers at task granularity.
@@ -83,10 +95,40 @@ func (r *Regent) Run(ctx context.Context, g *graph.TDG, st *program.Store) error
 		remain[i].Store(int32(len(g.Tasks[i].Deps)) + 1)
 	}
 
-	ready := make(chan int32, n)
-	release := func(id int32) {
-		if remain[id].Add(-1) == 0 {
-			ready <- id
+	// Ready-task distribution. Flat topology: one shared FIFO — the classic
+	// Legion ready queue. Multi-domain: one FIFO per locality domain plus a
+	// token semaphore; release enqueues to the task's home domain *before*
+	// signalling the token, so a worker that holds a token is guaranteed a
+	// task currently sits in some queue (its scan retries until it finds
+	// one). Every channel is buffered to n, so release never blocks.
+	nd := r.opt.Topo.DomainCount(nw)
+	homeDom := g.DomainAffinity(nd) // nil when nd <= 1
+	var release func(id int32)
+	var ready chan int32     // flat path
+	var readyD []chan int32  // multi-domain path
+	var tokens chan struct{} // multi-domain path
+	if nd <= 1 {
+		ready = make(chan int32, n)
+		release = func(id int32) {
+			if remain[id].Add(-1) == 0 {
+				ready <- id
+			}
+		}
+	} else {
+		readyD = make([]chan int32, nd)
+		for d := range readyD {
+			readyD[d] = make(chan int32, n)
+		}
+		tokens = make(chan struct{}, n)
+		release = func(id int32) {
+			if remain[id].Add(-1) == 0 {
+				d := homeDom(id)
+				if d < 0 {
+					d = int(id) % nd // keyless tasks spread round-robin
+				}
+				readyD[d] <- id
+				tokens <- struct{}{}
+			}
 		}
 	}
 
@@ -155,15 +197,78 @@ func (r *Regent) Run(ctx context.Context, g *graph.TDG, st *program.Store) error
 					closeOnce.Do(func() { close(finished) })
 				}
 			}()
+			exec := func(id int32) bool {
+				body(w, id)
+				for _, s := range g.Tasks[id].Succs {
+					release(s)
+				}
+				if done.Add(-1) == 0 {
+					closeOnce.Do(func() { close(finished) })
+					return false
+				}
+				return true
+			}
+			if nd <= 1 {
+				for {
+					select {
+					case id := <-ready:
+						if !exec(id) {
+							return
+						}
+					case <-finished:
+						return
+					}
+				}
+			}
+			// Multi-domain: consume a token, then locate its task — own
+			// domain's queue first, the others only when home is dry.
+			dw := w * nd / nw
+			var ls sched.LocalityStats
+			defer func() { r.acc.Add(ls) }()
 			for {
 				select {
-				case id := <-ready:
-					body(w, id)
-					for _, s := range g.Tasks[id].Succs {
-						release(s)
+				case <-tokens:
+					var id int32
+					found := false
+					for !found {
+						for k := 0; k < nd; k++ {
+							d := (dw + k) % nd
+							select {
+							case id = <-readyD[d]:
+								found = true
+								if k == 0 {
+									ls.Domain++
+								} else {
+									ls.Remote++
+									ls.StealsRemote++
+								}
+							default:
+							}
+							if found {
+								break
+							}
+						}
+						if found {
+							break
+						}
+						// Another token holder raced us to the queues; the
+						// queue-before-token invariant says a task for this
+						// token exists (or its enqueue is in flight) — retry.
+						select {
+						case <-finished:
+							return
+						default:
+							runtime.Gosched()
+						}
 					}
-					if done.Add(-1) == 0 {
-						closeOnce.Do(func() { close(finished) })
+					if d := homeDom(id); d < 0 {
+						ls.AffinityNone++
+					} else if d == dw {
+						ls.AffinityLocal++
+					} else {
+						ls.AffinityRemote++
+					}
+					if !exec(id) {
 						return
 					}
 				case <-finished:

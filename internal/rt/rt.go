@@ -22,6 +22,7 @@ import (
 	"sparsetask/internal/kernels"
 	"sparsetask/internal/program"
 	"sparsetask/internal/sched"
+	"sparsetask/internal/topo"
 	"sparsetask/internal/trace"
 )
 
@@ -31,8 +32,15 @@ type Options struct {
 	Workers int
 	// Recorder, when non-nil, receives one event per executed task.
 	Recorder *trace.Recorder
+	// Topo selects the machine-topology profile for locality-aware
+	// scheduling in the stealing backends: tasks carry a domain hint derived
+	// from their CSB row band, workers steal hierarchically (own domain
+	// before remote), and the backend tracks locality counters. The zero
+	// value is flat — uniform stealing, no hints, no behavior change.
+	Topo topo.Topology
 	// NUMADomains enables domain-aware scheduling for the HPX backend when
-	// > 1 (the paper's scheduling-hint optimization, §5.1).
+	// > 1 (the paper's scheduling-hint optimization, §5.1). Deprecated in
+	// favor of Topo, which it maps to when Topo is flat.
 	NUMADomains int
 	// AnalysisCost is the Regent dependence-analysis work per task, in
 	// spin-loop iterations. 0 selects a default calibrated to make analysis
@@ -87,6 +95,15 @@ type Preparer interface {
 	Prepare(g *graph.TDG, st *program.Store) PreparedRun
 }
 
+// LocalityReporter is implemented by runtimes and prepared runs that track
+// scheduler locality counters. A runtime's Locality is its lifetime
+// aggregate (folded in as executions close); a PreparedRun's is the live
+// count for that handle. Safe to call concurrently with runs on the runtime
+// form; on a PreparedRun only between Run calls.
+type LocalityReporter interface {
+	Locality() sched.LocalityStats
+}
+
 // PrepareRun returns a reusable execution handle for g on r. Runtimes that
 // implement Preparer get their amortized path; anything else falls back to
 // calling r.Run per iteration, so callers can use this unconditionally.
@@ -107,16 +124,30 @@ func (p *genericPrepared) Run(ctx context.Context) error { return p.r.Run(ctx, p
 func (p *genericPrepared) Close()                        {}
 
 // executorRun adapts a persistent sched.Executor to PreparedRun; it is the
-// shared Prepare implementation for the stealing backends.
-type executorRun struct{ e *sched.Executor }
+// shared Prepare implementation for the stealing backends. On Close the
+// executor's locality counters fold into the owning backend's lifetime
+// accumulator.
+type executorRun struct {
+	e   *sched.Executor
+	acc *sched.LocalityAccumulator
+}
 
-func newExecutorRun(g *graph.TDG, body func(int, int32), opt sched.Options) *executorRun {
+func newExecutorRun(g *graph.TDG, body func(int, int32), opt sched.Options, acc *sched.LocalityAccumulator) *executorRun {
 	return &executorRun{e: sched.NewExecutor(len(g.Tasks), indegrees(g),
-		func(i int32) []int32 { return g.Tasks[i].Succs }, g.Roots, body, opt)}
+		func(i int32) []int32 { return g.Tasks[i].Succs }, g.Roots, body, opt), acc: acc}
 }
 
 func (p *executorRun) Run(ctx context.Context) error { return p.e.Run(ctx) }
-func (p *executorRun) Close()                        { p.e.Close() }
+
+// Locality implements LocalityReporter with the live executor counters.
+func (p *executorRun) Locality() sched.LocalityStats { return p.e.Stats() }
+
+func (p *executorRun) Close() {
+	if p.acc != nil {
+		p.acc.Add(p.e.Stats())
+	}
+	p.e.Close()
+}
 
 // epochNow returns nanoseconds since the runtime's epoch.
 func epochNow(epoch time.Time) int64 { return time.Since(epoch).Nanoseconds() }
@@ -140,6 +171,15 @@ func taskBody(g *graph.TDG, st *program.Store, rec *trace.Recorder, epoch time.T
 			Start:  s, End: e,
 		})
 	}
+}
+
+// applyTopo wires a topology profile into executor options: the profile
+// itself plus the graph's row-band→domain affinity map sized to the
+// effective domain count (nil when the shape is flat, disabling routing
+// entirely).
+func applyTopo(opt *sched.Options, tp topo.Topology, g *graph.TDG) {
+	opt.Topo = tp
+	opt.Affinity = g.DomainAffinity(tp.DomainCount(opt.Workers))
 }
 
 // indegrees extracts the initial dependency counts of a TDG.

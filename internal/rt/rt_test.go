@@ -15,6 +15,7 @@ import (
 	"sparsetask/internal/kernels"
 	"sparsetask/internal/program"
 	"sparsetask/internal/sparse"
+	"sparsetask/internal/topo"
 	"sparsetask/internal/trace"
 )
 
@@ -157,6 +158,64 @@ func TestHPXNUMADomains(t *testing.T) {
 	st := mk()
 	r.Run(context.Background(), g, st)
 	storesEqual(t, "hpx-numa", ref, st)
+}
+
+func TestTopologyRuntimesMatchSequential(t *testing.T) {
+	// Multi-domain topologies change only where tasks run, never results:
+	// every stealing backend must stay bit-identical to sequential on both
+	// paper profiles, repeated iterations included. The locality reporters
+	// must also account for every executed task.
+	for _, tp := range []topo.Topology{topo.Broadwell(), topo.EPYC()} {
+		g, mk := testProblem(t, 60, 6, 2, 9)
+		ref := mk()
+		for it := 0; it < 3; it++ {
+			kernels.RunSequential(g, ref)
+		}
+		for _, r := range []Runtime{
+			NewDeepSparse(Options{Workers: 4, Topo: tp}),
+			NewHPX(Options{Workers: 4, Topo: tp}),
+			NewRegent(Options{Workers: 4, Topo: tp}),
+		} {
+			st := mk()
+			for it := 0; it < 3; it++ {
+				if err := r.Run(context.Background(), g, st); err != nil {
+					t.Fatalf("%s/%s: %v", r.Name(), tp, err)
+				}
+			}
+			storesEqual(t, r.Name()+"/"+tp.String(), ref, st)
+			lr, ok := r.(LocalityReporter)
+			if !ok {
+				t.Fatalf("%s does not report locality", r.Name())
+			}
+			s := lr.Locality()
+			if got, want := s.Tasks(), int64(3*len(g.Tasks)); got != want {
+				t.Errorf("%s/%s: locality counted %d tasks, want %d", r.Name(), tp, got, want)
+			}
+		}
+	}
+}
+
+func TestPreparedRunReportsLocality(t *testing.T) {
+	g, mk := testProblem(t, 60, 6, 2, 10)
+	r := NewDeepSparse(Options{Workers: 4, Topo: topo.EPYC()})
+	p := r.Prepare(g, mk())
+	lr, ok := p.(LocalityReporter)
+	if !ok {
+		t.Fatal("prepared run does not report locality")
+	}
+	for it := 0; it < 2; it++ {
+		if err := p.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := lr.Locality().Tasks(), int64(2*len(g.Tasks)); got != want {
+		t.Errorf("prepared-run locality counted %d tasks, want %d", got, want)
+	}
+	p.Close()
+	// Close folds the handle's counters into the runtime's lifetime total.
+	if got, want := r.Locality().Tasks(), int64(2*len(g.Tasks)); got != want {
+		t.Errorf("runtime lifetime locality counted %d tasks, want %d", got, want)
+	}
 }
 
 func TestRegentIndexLaunchSkipsAnalysis(t *testing.T) {

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"sparsetask/internal/topo"
 )
 
 // Discipline selects the order a worker drains its own queue.
@@ -21,19 +23,26 @@ const (
 	FIFO
 )
 
+// stealBurst bounds how many extra tasks a cross-domain steal migrates in one
+// go (the "steal-half" transfer). Half the victim's queue amortizes remote
+// traffic; the cap keeps one thief from draining a large domain wholesale.
+const stealBurst = 16
+
 // Options configure a graph execution.
 type Options struct {
 	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
 	Workers int
 	// Discipline is the local queue order.
 	Discipline Discipline
-	// Domains groups workers into locality domains (NUMA analog). Workers
-	// steal within their own domain before going cross-domain. 0 or 1
-	// disables domain awareness.
-	Domains int
-	// Affinity optionally maps a task to a preferred domain; newly ready
-	// tasks produced by a worker outside that domain are routed to a queue
-	// in the preferred domain (HPX scheduling-hint analog). Nil disables.
+	// Topo groups workers into locality domains (NUMA/CCX analog). Workers
+	// drain their own deque, then their domain, and only then steal across
+	// domains (with a steal-half burst). The zero value is flat: uniform
+	// stealing, no hierarchy.
+	Topo topo.Topology
+	// Affinity optionally maps a task to a preferred domain in
+	// [0, Topo.DomainCount(Workers)); negative means no preference. Newly
+	// ready tasks produced outside their preferred domain are routed to that
+	// domain's inbox (HPX scheduling-hint analog). Nil disables routing.
 	Affinity func(task int32) int
 	// InitialOrder optionally reorders root submission (DeepSparse submits
 	// in depth-first topological order). Nil keeps natural order.
@@ -61,28 +70,43 @@ func RunGraph(ctx context.Context, n int, indeg []int32, succs func(int32) []int
 }
 
 // Executor is a reusable dependency-graph executor: all scheduler state —
-// deques, dependency counters, ready-task routing buffers, per-worker PRNG
-// state, and (for Workers > 1) the worker goroutines themselves — is
-// allocated once at construction and reused by every Run. A steady-state Run
-// with an uncancellable context performs no heap allocations.
+// deques, domain inboxes, dependency counters, ready-task routing buffers,
+// per-worker PRNG and counter state, and (for Workers > 1) the worker
+// goroutines themselves — is allocated once at construction and reused by
+// every Run. A steady-state Run with an uncancellable context performs no
+// heap allocations.
 //
 // Run executes the graph once and must not be called concurrently with
 // itself; Close releases the worker pool. With one worker the graph runs
 // inline on the calling goroutine and no pool exists at all.
+//
+// When Options.Topo has more than one domain, workers acquire tasks
+// hierarchically: own deque, then the domain inbox, then same-domain victims,
+// and only then remote domains (deques with a steal-half burst, then remote
+// inboxes). Work conservation is preserved — affinity routing biases where a
+// task runs, never whether it runs.
 type Executor struct {
-	n      int
-	nw     int
-	dom    int
-	disc   Discipline
-	succs  func(int32) []int32
-	exec   func(int, int32)
-	opt    Options
-	order  []int32 // root submission order
-	indeg  []int32
+	n     int
+	nw    int
+	ndom  int
+	disc  Discipline
+	succs func(int32) []int32
+	exec  func(int, int32)
+	aff   func(int32) int
+	order []int32 // root submission order
+	indeg []int32
+
+	domOf    []int // worker -> domain
+	domStart []int // domain -> first worker
+	domEnd   []int // domain -> one past last worker
+	rootrr   []int // per-domain round-robin cursor for root placement
+
 	deques []*Deque
+	inbox  []inbox // per-domain cross-domain routing queue
 	remain []atomic.Int32
 	ready  [][]int32 // per-worker newly-ready routing buffer
 	rng    []paddedRng
+	stats  []workerStats
 
 	total    atomic.Int64 // tasks left to execute
 	executed atomic.Int64 // tasks actually run (diverges from n on cancel)
@@ -106,6 +130,60 @@ type paddedRng struct {
 	_ [56]byte
 }
 
+// inbox is a per-domain FIFO for cross-domain affinity routing. The Chase–Lev
+// deque only admits Push from its owner goroutine, so a producer in another
+// domain cannot place work directly on the preferred domain's deques; it
+// lands here and the domain's workers drain it ahead of stealing. The size
+// counter lets idle workers skip the lock when the inbox is empty (the common
+// case), and the padding keeps neighbouring domains off one cache line.
+type inbox struct {
+	size atomic.Int32
+	mu   sync.Mutex
+	buf  []int32
+	head int
+	_    [24]byte
+}
+
+func (b *inbox) put(t int32) {
+	b.mu.Lock()
+	b.buf = append(b.buf, t)
+	b.size.Add(1)
+	b.mu.Unlock()
+}
+
+func (b *inbox) get() (int32, bool) {
+	if b.size.Load() == 0 {
+		return 0, false
+	}
+	b.mu.Lock()
+	if b.head >= len(b.buf) {
+		b.mu.Unlock()
+		return 0, false
+	}
+	t := b.buf[b.head]
+	b.head++
+	if b.head == len(b.buf) {
+		b.buf = b.buf[:0] // keep grown capacity
+		b.head = 0
+	}
+	b.size.Add(-1)
+	b.mu.Unlock()
+	return t, true
+}
+
+func (b *inbox) reset() {
+	b.buf = b.buf[:0]
+	b.head = 0
+	b.size.Store(0)
+}
+
+// Acquisition tiers, used to attribute each executed task in the stats.
+const (
+	tierLocal = iota
+	tierDomain
+	tierRemote
+)
+
 // NewExecutor builds a reusable executor over a fixed graph shape. indeg is
 // copied; succs must be pure and stable across runs. With opt.Workers != 1
 // (or 0 on a multicore host) persistent worker goroutines are started
@@ -121,31 +199,41 @@ func NewExecutor(n int, indeg []int32, succs func(int32) []int32, roots []int32,
 	if n == 0 {
 		nw = 1
 	}
-	dom := opt.Domains
-	if dom <= 1 {
-		dom = 1
-	}
-	if dom > nw {
-		dom = nw
-	}
 	order := roots
 	if opt.InitialOrder != nil {
 		order = opt.InitialOrder
 	}
+	counts := opt.Topo.Partition(nw)
+	ndom := len(counts)
 	e := &Executor{
-		n:      n,
-		nw:     nw,
-		dom:    dom,
-		disc:   opt.Discipline,
-		succs:  succs,
-		exec:   exec,
-		opt:    opt,
-		order:  order,
-		indeg:  append([]int32(nil), indeg...),
-		deques: make([]*Deque, nw),
-		remain: make([]atomic.Int32, n),
-		ready:  make([][]int32, nw),
-		rng:    make([]paddedRng, nw),
+		n:        n,
+		nw:       nw,
+		ndom:     ndom,
+		disc:     opt.Discipline,
+		succs:    succs,
+		exec:     exec,
+		aff:      opt.Affinity,
+		order:    order,
+		indeg:    append([]int32(nil), indeg...),
+		domOf:    make([]int, nw),
+		domStart: make([]int, ndom),
+		domEnd:   make([]int, ndom),
+		rootrr:   make([]int, ndom),
+		deques:   make([]*Deque, nw),
+		inbox:    make([]inbox, ndom),
+		remain:   make([]atomic.Int32, n),
+		ready:    make([][]int32, nw),
+		rng:      make([]paddedRng, nw),
+		stats:    make([]workerStats, nw),
+	}
+	w := 0
+	for d, c := range counts {
+		e.domStart[d] = w
+		for i := 0; i < c; i++ {
+			e.domOf[w] = d
+			w++
+		}
+		e.domEnd[d] = w
 	}
 	for i := 0; i < nw; i++ {
 		e.deques[i] = NewDeque()
@@ -165,6 +253,13 @@ func NewExecutor(n int, indeg []int32, succs func(int32) []int32, roots []int32,
 	}
 	return e
 }
+
+// Domains returns the effective domain count the executor runs with (the
+// topology's domain count clamped to the worker count).
+func (e *Executor) Domains() int { return e.ndom }
+
+// Workers returns the resolved worker count.
+func (e *Executor) Workers() int { return e.nw }
 
 // Run executes the graph once. It is not safe for concurrent use; iterative
 // callers invoke it once per iteration with a barrier between calls (which
@@ -189,12 +284,22 @@ func (e *Executor) Run(ctx context.Context) error {
 	for _, d := range e.deques {
 		d.Reset()
 	}
-	// Distribute roots across workers (respecting affinity when set) so
-	// execution starts balanced; the stealing protocol handles the rest.
+	for i := range e.inbox {
+		e.inbox[i].reset()
+	}
+	// Distribute roots across workers so execution starts balanced; with
+	// affinity, round-robin inside the preferred domain (directly onto the
+	// workers' deques — safe here, no worker is running yet). The stealing
+	// protocol handles the rest.
 	for k, t := range e.order {
 		w := k % e.nw
-		if e.opt.Affinity != nil {
-			w = e.domainWorker(e.opt.Affinity(t), t)
+		if e.aff != nil {
+			if d := e.aff(t); d >= 0 {
+				d %= e.ndom
+				width := e.domEnd[d] - e.domStart[d]
+				w = e.domStart[d] + e.rootrr[d]%width
+				e.rootrr[d]++
+			}
 		}
 		e.deques[w].Push(t)
 	}
@@ -293,31 +398,6 @@ func (e *Executor) halt() {
 	e.total.Store(0)
 }
 
-// domainWorker picks a deterministic worker inside a domain for a task.
-func (e *Executor) domainWorker(d int, t int32) int {
-	if d < 0 {
-		d = 0
-	}
-	d %= e.dom
-	per := e.nw / e.dom
-	if per == 0 {
-		per = 1
-	}
-	return (d*per + int(t)%per) % e.nw
-}
-
-func (e *Executor) domainOf(w int) int {
-	per := e.nw / e.dom
-	if per == 0 {
-		per = 1
-	}
-	d := w / per
-	if d >= e.dom {
-		d = e.dom - 1
-	}
-	return d
-}
-
 // rngNext advances worker w's private xorshift64 stream.
 func (e *Executor) rngNext(w int) uint64 {
 	s := e.rng[w].s
@@ -328,53 +408,104 @@ func (e *Executor) rngNext(w int) uint64 {
 	return s
 }
 
-func (e *Executor) take(w int) (int32, bool) {
+// take acquires the next task for worker w, hierarchically: own deque, own
+// domain (inbox, then same-domain victims), then remote domains (victim
+// deques with a steal-half burst, then remote inboxes). The returned tier
+// says which level supplied the task.
+func (e *Executor) take(w int) (int32, int, bool) {
 	// Own queue first, in the configured discipline.
 	if e.disc == LIFO {
 		if t, ok := e.deques[w].Pop(); ok {
-			return t, ok
+			return t, tierLocal, true
 		}
 	} else {
 		if t, ok := e.deques[w].Steal(); ok {
-			return t, ok
+			return t, tierLocal, true
 		}
 	}
 	if e.nw == 1 {
-		return 0, false
+		return 0, 0, false
 	}
-	// Steal: same-domain victims first, then everyone.
-	myDom := e.domainOf(w)
-	for pass := 0; pass < 2; pass++ {
-		start := int(e.rngNext(w) % uint64(e.nw))
-		for k := 0; k < e.nw; k++ {
-			v := (start + k) % e.nw
+	myDom := e.domOf[w]
+	// Own domain: the inbox holds tasks other domains routed here — they are
+	// the reason this domain exists, so drain it before stealing.
+	if e.ndom > 1 {
+		if t, ok := e.inbox[myDom].get(); ok {
+			return t, tierDomain, true
+		}
+	}
+	// Same-domain victims, starting at a random sibling.
+	lo, hi := e.domStart[myDom], e.domEnd[myDom]
+	if width := hi - lo; width > 1 {
+		start := int(e.rngNext(w) % uint64(width))
+		for k := 0; k < width; k++ {
+			v := lo + (start+k)%width
 			if v == w {
 				continue
 			}
-			if pass == 0 && e.dom > 1 && e.domainOf(v) != myDom {
+			if t, ok := e.deques[v].Steal(); ok {
+				e.stats[w].stealsDom++
+				return t, tierDomain, true
+			}
+		}
+	}
+	if e.ndom == 1 {
+		return 0, 0, false
+	}
+	// Remote domains, starting at a random one: victims' deques with a
+	// steal-half burst (migrate up to half the victim's visible queue onto
+	// our own deque so siblings find follow-on work locally), then the remote
+	// inbox as a last resort.
+	dstart := int(e.rngNext(w) % uint64(e.ndom))
+	for dk := 0; dk < e.ndom; dk++ {
+		d := (dstart + dk) % e.ndom
+		if d == myDom {
+			continue
+		}
+		for v := e.domStart[d]; v < e.domEnd[d]; v++ {
+			t, ok := e.deques[v].Steal()
+			if !ok {
 				continue
 			}
-			if t, ok := e.deques[v].Steal(); ok {
-				return t, ok
+			e.stats[w].stealsRem++
+			burst := e.deques[v].Size() / 2
+			if burst > stealBurst {
+				burst = stealBurst
 			}
+			for i := 0; i < burst; i++ {
+				u, ok2 := e.deques[v].Steal()
+				if !ok2 {
+					break
+				}
+				// Migrated tasks were already published in the victim's
+				// deque, so no wake is needed: any parked worker rescans via
+				// the wake that published them.
+				e.deques[w].Push(u)
+			}
+			return t, tierRemote, true
 		}
-		if e.dom == 1 {
-			break // one pass covers everyone
+		if t, ok := e.inbox[d].get(); ok {
+			e.stats[w].stealsRem++
+			return t, tierRemote, true
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
-// route places a newly ready task on a worker's deque (respecting affinity)
-// without waking anyone; the caller batches one wake per ready set.
+// route places a newly ready task (respecting affinity) without waking
+// anyone; the caller batches one wake per ready set. Tasks preferring a
+// foreign domain go to that domain's inbox — never another worker's deque,
+// which only its owner may Push.
 func (e *Executor) route(w int, t int32) {
-	target := w
-	if e.opt.Affinity != nil {
-		if d := e.opt.Affinity(t); d >= 0 && e.domainOf(w) != d%e.dom {
-			target = e.domainWorker(d, t)
+	if e.aff != nil && e.ndom > 1 {
+		if d := e.aff(t); d >= 0 {
+			if d %= e.ndom; d != e.domOf[w] {
+				e.inbox[d].put(t)
+				return
+			}
 		}
 	}
-	e.deques[target].Push(t)
+	e.deques[w].Push(t)
 }
 
 func (e *Executor) wake() {
@@ -410,7 +541,7 @@ func (e *Executor) runWorker(w int) {
 		if e.total.Load() <= 0 {
 			return
 		}
-		t, ok := e.take(w)
+		t, tier, ok := e.take(w)
 		if !ok {
 			spins++
 			if spins < 4 {
@@ -437,7 +568,7 @@ func (e *Executor) runWorker(w int) {
 			continue
 		}
 		spins = 0
-		if e.runChain(w, t) {
+		if e.runChain(w, t, tier) {
 			return // last task of the run executed here
 		}
 	}
@@ -448,8 +579,27 @@ func (e *Executor) runWorker(w int) {
 // run inline, skipping the deque round-trip and wake; the remaining ready
 // tasks are routed in one batch with a single wake. Returns true when the
 // run's last task executed here.
-func (e *Executor) runChain(w int, t int32) bool {
+func (e *Executor) runChain(w int, t int32, tier int) bool {
+	st := &e.stats[w]
+	myDom := e.domOf[w]
 	for {
+		switch tier {
+		case tierLocal:
+			st.local++
+		case tierDomain:
+			st.domain++
+		default:
+			st.remote++
+		}
+		if e.aff != nil {
+			if d := e.aff(t); d < 0 {
+				st.affNon++
+			} else if d%e.ndom == myDom {
+				st.affLocal++
+			} else {
+				st.affRem++
+			}
+		}
 		e.exec(w, t)
 		e.executed.Add(1)
 		nr := e.ready[w][:0]
@@ -473,13 +623,22 @@ func (e *Executor) runChain(w int, t int32) bool {
 			return false
 		}
 		// Inline fast path: under LIFO, the last-routed successor is exactly
-		// the task Pop would return next — run it directly. (FIFO must not
-		// chain: breadth-first order is the HPX personality under study, and
-		// affinity routing may assign the task to another domain.)
+		// the task Pop would return next — run it directly, provided affinity
+		// would not route it to another domain. (FIFO must not chain:
+		// breadth-first order is the HPX personality under study.)
 		next := int32(-1)
-		if e.disc == LIFO && e.opt.Affinity == nil {
-			next = nr[len(nr)-1]
-			nr = nr[:len(nr)-1]
+		if e.disc == LIFO {
+			cand := nr[len(nr)-1]
+			chain := true
+			if e.aff != nil && e.ndom > 1 {
+				if d := e.aff(cand); d >= 0 && d%e.ndom != myDom {
+					chain = false
+				}
+			}
+			if chain {
+				next = cand
+				nr = nr[:len(nr)-1]
+			}
 		}
 		if len(nr) > 0 {
 			for _, s := range nr {
@@ -491,5 +650,6 @@ func (e *Executor) runChain(w int, t int32) bool {
 			return false
 		}
 		t = next
+		tier = tierLocal
 	}
 }

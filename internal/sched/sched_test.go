@@ -9,6 +9,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"sparsetask/internal/topo"
 )
 
 func TestDequeSequential(t *testing.T) {
@@ -215,7 +217,7 @@ func TestRunGraphDomains(t *testing.T) {
 	var count atomic.Int64
 	RunGraph(context.Background(), n, indeg, func(i int32) []int32 { return succs[i] }, roots,
 		func(w int, task int32) { count.Add(1) },
-		Options{Workers: 4, Domains: 2, Affinity: func(t int32) int { return 1 }})
+		Options{Workers: 4, Topo: topo.Broadwell(), Affinity: func(t int32) int { return 1 }})
 	if count.Load() != int64(n) {
 		t.Fatalf("executed %d, want %d", count.Load(), n)
 	}

@@ -1,0 +1,129 @@
+package sched
+
+import "sync/atomic"
+
+// LocalityStats is the exported snapshot of the executor's per-worker
+// locality counters, aggregated over workers and (for a live Executor) over
+// every Run since construction or the last ResetStats.
+//
+// Two views of the same execution are counted:
+//
+//   - Acquisition tier — where each executed task came from: the worker's own
+//     deque (Local, includes inline-chained successors), its own domain
+//     (Domain: the domain inbox or a same-domain victim's deque), or another
+//     domain (Remote). StealsDomain/StealsRemote count the steal operations
+//     behind the Domain/Remote tiers.
+//   - Placement outcome — whether the task executed in its preferred domain:
+//     AffinityLocal (executed where its affinity key maps), AffinityRemote
+//     (executed elsewhere: work conservation won over placement), and
+//     AffinityNone (tasks with no affinity key, e.g. global reductions).
+type LocalityStats struct {
+	Local  int64 `json:"local"`
+	Domain int64 `json:"domain"`
+	Remote int64 `json:"remote"`
+
+	StealsDomain int64 `json:"steals_domain"`
+	StealsRemote int64 `json:"steals_remote"`
+
+	AffinityLocal  int64 `json:"affinity_local"`
+	AffinityRemote int64 `json:"affinity_remote"`
+	AffinityNone   int64 `json:"affinity_none"`
+}
+
+// Tasks returns the total executions counted.
+func (s LocalityStats) Tasks() int64 { return s.Local + s.Domain + s.Remote }
+
+// DomainLocalShare is the fraction of affinity-carrying tasks that executed
+// in their preferred domain. Returns 1 when no task carried affinity (flat
+// execution is vacuously local).
+func (s LocalityStats) DomainLocalShare() float64 {
+	n := s.AffinityLocal + s.AffinityRemote
+	if n == 0 {
+		return 1
+	}
+	return float64(s.AffinityLocal) / float64(n)
+}
+
+// Add accumulates o into s.
+func (s *LocalityStats) Add(o LocalityStats) {
+	s.Local += o.Local
+	s.Domain += o.Domain
+	s.Remote += o.Remote
+	s.StealsDomain += o.StealsDomain
+	s.StealsRemote += o.StealsRemote
+	s.AffinityLocal += o.AffinityLocal
+	s.AffinityRemote += o.AffinityRemote
+	s.AffinityNone += o.AffinityNone
+}
+
+// LocalityAccumulator aggregates LocalityStats across executors with atomic
+// adds — the lifetime counter a runtime backend keeps as its prepared runs
+// close, safe to snapshot concurrently (e.g. from a /metrics handler).
+type LocalityAccumulator struct {
+	local, domain, remote    atomic.Int64
+	stealsDom, stealsRem     atomic.Int64
+	affLocal, affRem, affNon atomic.Int64
+}
+
+// Add folds a snapshot into the accumulator.
+func (a *LocalityAccumulator) Add(s LocalityStats) {
+	a.local.Add(s.Local)
+	a.domain.Add(s.Domain)
+	a.remote.Add(s.Remote)
+	a.stealsDom.Add(s.StealsDomain)
+	a.stealsRem.Add(s.StealsRemote)
+	a.affLocal.Add(s.AffinityLocal)
+	a.affRem.Add(s.AffinityRemote)
+	a.affNon.Add(s.AffinityNone)
+}
+
+// Snapshot returns the accumulated totals.
+func (a *LocalityAccumulator) Snapshot() LocalityStats {
+	return LocalityStats{
+		Local:          a.local.Load(),
+		Domain:         a.domain.Load(),
+		Remote:         a.remote.Load(),
+		StealsDomain:   a.stealsDom.Load(),
+		StealsRemote:   a.stealsRem.Load(),
+		AffinityLocal:  a.affLocal.Load(),
+		AffinityRemote: a.affRem.Load(),
+		AffinityNone:   a.affNon.Load(),
+	}
+}
+
+// workerStats is one worker's private counter block, sized to a cache line so
+// neighbouring workers never share one. Written only by the owning worker
+// during a run; reading is safe once Run has returned (the run-completion
+// handshake orders the writes).
+type workerStats struct {
+	local, domain, remote    int64
+	stealsDom, stealsRem     int64
+	affLocal, affRem, affNon int64
+}
+
+// Stats aggregates the per-worker locality counters. Call it between runs
+// (after Run returns, or after Close); calling concurrently with a running
+// graph would race with the workers' counter writes.
+func (e *Executor) Stats() LocalityStats {
+	var s LocalityStats
+	for i := range e.stats {
+		w := &e.stats[i]
+		s.Local += w.local
+		s.Domain += w.domain
+		s.Remote += w.remote
+		s.StealsDomain += w.stealsDom
+		s.StealsRemote += w.stealsRem
+		s.AffinityLocal += w.affLocal
+		s.AffinityRemote += w.affRem
+		s.AffinityNone += w.affNon
+	}
+	return s
+}
+
+// ResetStats zeroes the locality counters. Same concurrency contract as
+// Stats: only between runs.
+func (e *Executor) ResetStats() {
+	for i := range e.stats {
+		e.stats[i] = workerStats{}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sparsetask/internal/rt"
 	"sparsetask/internal/solver"
 	"sparsetask/internal/sparse"
+	"sparsetask/internal/topo"
 )
 
 // Cost-model constants for the analytic autotune evaluator. Only relative
@@ -25,8 +26,8 @@ const (
 )
 
 // newRuntime constructs a backend. Backend names are validated at admission.
-func newRuntime(backend string, workers int) rt.Runtime {
-	opt := rt.Options{Workers: workers}
+func newRuntime(backend string, workers int, tp topo.Topology) rt.Runtime {
+	opt := rt.Options{Workers: workers, Topo: tp}
 	switch backend {
 	case "bsp":
 		return rt.NewBSP(opt)
@@ -203,7 +204,7 @@ func (s *Server) runtimeFor(backend string, workers int) rt.Runtime {
 	k := runtimeKey{backend, workers}
 	r, ok := s.runtimes[k]
 	if !ok {
-		r = newRuntime(backend, workers)
+		r = newRuntime(backend, workers, s.topo)
 		s.runtimes[k] = r
 	}
 	return r
@@ -233,6 +234,7 @@ func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, workers int) (Plan, 
 		Solver:      spec.Solver,
 		Backend:     spec.Backend,
 		Workers:     workers,
+		Topo:        s.topo.Name,
 	}
 	if p, ok := s.plans.Get(key); ok {
 		return p, "cache", nil

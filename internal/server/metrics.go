@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sparsetask/internal/sched"
 )
 
 // histBuckets is the number of power-of-two latency buckets: bucket i counts
@@ -127,4 +129,16 @@ type MetricsSnapshot struct {
 		Solve     HistogramSnapshot `json:"solve"`
 		Total     HistogramSnapshot `json:"total"`
 	} `json:"latency"`
+	Topology struct {
+		// Profile is the configured machine-topology profile, e.g. "epyc(8d)".
+		Profile string `json:"profile"`
+		// Domains is the profile's locality-domain count.
+		Domains int `json:"domains"`
+		// Locality aggregates the scheduler locality counters over every
+		// backend runtime the server has built (completed executions only).
+		Locality sched.LocalityStats `json:"locality"`
+		// DomainLocalShare is the fraction of affinity-carrying tasks that
+		// executed in their preferred domain (1.0 when nothing carried one).
+		DomainLocalShare float64 `json:"domain_local_share"`
+	} `json:"topology"`
 }

@@ -8,12 +8,15 @@ import (
 
 // PlanKey identifies a cached execution plan: the matrix's structural
 // fingerprint (from sparse.Stats) plus everything else that shifts the
-// block-size optimum — solver shape, runtime backend, and worker count.
+// block-size optimum — solver shape, runtime backend, worker count, and the
+// topology profile (domain grouping changes which block counts schedule
+// well, so plans tuned under one profile don't leak into another).
 type PlanKey struct {
 	Fingerprint uint64
 	Solver      string
 	Backend     string
 	Workers     int
+	Topo        string
 }
 
 // Plan is the memoized outcome of the §5.4 six-trial autotune sweep.

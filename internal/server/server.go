@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"sparsetask/internal/rt"
+	"sparsetask/internal/sched"
+	"sparsetask/internal/topo"
 )
 
 // Config sizes the service.
@@ -24,6 +26,11 @@ type Config struct {
 	RTWorkers int
 	// PlanCacheSize bounds the autotune plan LRU. Default 128.
 	PlanCacheSize int
+	// Topo names the machine-topology profile every backend runtime is built
+	// with ("flat", "auto", "broadwell", "epyc"). Unknown or empty names fall
+	// back to flat; cmd/solverd validates the flag before it gets here. The
+	// profile is part of the plan-cache key and reported on /metrics.
+	Topo string
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +50,7 @@ func (c Config) withDefaults() Config {
 // an http.Server, and call Drain on shutdown.
 type Server struct {
 	cfg     Config
+	topo    topo.Topology
 	metrics *Metrics
 	plans   *PlanCache
 	queue   chan *Job
@@ -63,9 +71,14 @@ type Server struct {
 // New starts the worker pool and returns a ready server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	tp, err := topo.ByName(cfg.Topo)
+	if err != nil {
+		tp = topo.Flat() // library callers stay lenient; cmd validates the flag
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		topo:       tp,
 		metrics:    &Metrics{},
 		plans:      NewPlanCache(cfg.PlanCacheSize),
 		queue:      make(chan *Job, cfg.QueueSize),
@@ -278,6 +291,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Latency.Plan = m.PlanStage.Snapshot()
 	snap.Latency.Solve = m.Solve.Snapshot()
 	snap.Latency.Total = m.Total.Snapshot()
+
+	snap.Topology.Profile = s.topo.String()
+	snap.Topology.Domains = s.topo.DomainCount(0)
+	var loc sched.LocalityStats
+	s.mu.Lock()
+	for _, r := range s.runtimes {
+		if lr, ok := r.(rt.LocalityReporter); ok {
+			loc.Add(lr.Locality())
+		}
+	}
+	s.mu.Unlock()
+	snap.Topology.Locality = loc
+	snap.Topology.DomainLocalShare = loc.DomainLocalShare()
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -292,7 +318,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.cfg.Workers,
+		"status":   "ok",
+		"workers":  s.cfg.Workers,
+		"topology": s.topo.String(),
 	})
 }

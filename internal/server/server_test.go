@@ -374,6 +374,40 @@ func TestDrainRefusesNewJobs(t *testing.T) {
 	}
 }
 
+func TestTopologyConfigAndMetrics(t *testing.T) {
+	// An EPYC-profile server records the profile in /metrics and aggregates
+	// the backends' locality counters once jobs have run.
+	_, ts := newTestServer(t, Config{Workers: 1, RTWorkers: 4, Topo: "epyc"})
+	v, status := postJob(t, ts, mmSpec("lanczos", "deepsparse", `"k":4`))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", status)
+	}
+	if v, _ = waitState(t, ts, v.ID, StateDone, 30*time.Second); v.State != StateDone {
+		t.Fatalf("job ended %s: %s", v.State, v.Error)
+	}
+	m := getMetrics(t, ts)
+	if m.Topology.Profile != "epyc(8d)" || m.Topology.Domains != 8 {
+		t.Fatalf("topology = %q/%d, want epyc(8d)/8", m.Topology.Profile, m.Topology.Domains)
+	}
+	if m.Topology.Locality.Tasks() == 0 {
+		t.Error("locality counters empty after a completed solve")
+	}
+	if s := m.Topology.DomainLocalShare; s < 0 || s > 1 {
+		t.Errorf("domain_local_share = %v out of range", s)
+	}
+
+	// Unknown profile names degrade to flat rather than failing the server.
+	s2 := New(Config{Workers: 1, Topo: "bogus"})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s2.Drain(ctx)
+	}()
+	if s2.topo.Name != "flat" {
+		t.Errorf("unknown profile resolved to %s, want flat", s2.topo)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 3})
 	resp, err := http.Get(ts.URL + "/healthz")

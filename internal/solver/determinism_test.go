@@ -1,0 +1,66 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sparsetask/internal/rt"
+	"sparsetask/internal/topo"
+)
+
+// TestLanczosDeterministicAcrossTopologies pins down the core property that
+// makes locality-aware scheduling safe to enable everywhere: the topology
+// profile and steal order change only *where* tasks run, never the
+// floating-point summation order inside them — task bodies and the
+// dependence structure fix that — so Lanczos must produce bit-identical
+// eigenvalues under every backend × topology × seed combination.
+func TestLanczosDeterministicAcrossTopologies(t *testing.T) {
+	coo := randomSPD(120, 7)
+	topos := []topo.Topology{topo.Flat(), topo.Broadwell(), topo.EPYC()}
+	backends := []string{"deepsparse", "hpx", "regent"}
+	for _, seed := range []int64{1, 42} {
+		var want []float64
+		var wantFrom string
+		for _, tp := range topos {
+			for _, backend := range backends {
+				name := fmt.Sprintf("%s/%s/seed%d", backend, tp.Name, seed)
+				var r rt.Runtime
+				opt := rt.Options{Workers: 4, Topo: tp}
+				switch backend {
+				case "deepsparse":
+					r = rt.NewDeepSparse(opt)
+				case "hpx":
+					r = rt.NewHPX(opt)
+				case "regent":
+					r = rt.NewRegent(opt)
+				}
+				l, err := NewLanczos(coo.ToCSB(12), 25)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := l.Run(context.Background(), r, seed)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if len(res.Eigenvalues) == 0 {
+					t.Fatalf("%s: no eigenvalues", name)
+				}
+				if want == nil {
+					want, wantFrom = res.Eigenvalues, name
+					continue
+				}
+				if len(res.Eigenvalues) != len(want) {
+					t.Fatalf("%s: %d eigenvalues, %s gave %d",
+						name, len(res.Eigenvalues), wantFrom, len(want))
+				}
+				for i := range want {
+					if res.Eigenvalues[i] != want[i] {
+						t.Errorf("%s: λ_%d = %v differs from %s's %v (must be bit-identical)",
+							name, i, res.Eigenvalues[i], wantFrom, want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -5,7 +5,9 @@
 # backend, a short in-process solverd load run) and writes/updates
 # BENCH_PR3.json. The stored "baseline" section is preserved across runs so
 # the committed file always shows current-vs-baseline speedups; use
-# `-reset-baseline` (forwarded) to start a new trajectory.
+# `-reset-baseline` (forwarded) to start a new trajectory. After the run a
+# baseline-vs-current delta table is printed for every bench, flagging rows
+# outside the ±5% noise band — read that, not the raw JSON.
 #
 #   ./scripts/bench.sh                      # standard run, updates BENCH_PR3.json
 #   BENCHTIME=1s ./scripts/bench.sh         # longer per-bench measuring time
