@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz smoke bench
+.PHONY: check lint fmt vet build test race fuzz smoke bench
 
-check: fmt vet build test race
+check: build lint test race
+
+# Static analysis: gofmt, go vet, and sparselint (internal/lint — the
+# repo-specific hot-path/locking/ownership/ctx/determinism analyzers).
+lint:
+	./scripts/lint.sh
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -22,11 +27,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving layer, scheduler, runtime backends, and graph builder are the
-# concurrency hot spots; they must also pass under the race detector (the
-# hierarchical steal paths in sched and rt especially).
+# The serving layer, scheduler, runtime backends, graph builder, solver
+# drivers, and topology layer are the concurrency hot spots; they must also
+# pass under the race detector (the hierarchical steal paths in sched and rt
+# especially).
 race:
-	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/graph/... ./internal/rt/...
+	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/graph/... ./internal/rt/... ./internal/solver/... ./internal/topo/...
 
 # Short fuzz session for the MatrixMarket parser (regression seeds always run
 # as part of `make test`).

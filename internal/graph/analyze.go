@@ -32,7 +32,7 @@ func (g *TDG) ComputeStats() Stats {
 	depth := make([]int32, len(g.Tasks))
 	work := make([]int64, len(g.Tasks))
 	kdepth := make([]int32, len(g.Tasks))
-	levelCount := map[int32]int{}
+	var levelCount []int
 	for i := range g.Tasks {
 		t := &g.Tasks[i]
 		var d, kd int32
@@ -65,6 +65,9 @@ func (g *TDG) ComputeStats() Stats {
 				kd = 1
 			}
 			kdepth[i] = kd
+		}
+		for int(depth[i]) >= len(levelCount) {
+			levelCount = append(levelCount, 0)
 		}
 		levelCount[depth[i]]++
 		s.TotalFlops += t.Flops

@@ -19,6 +19,8 @@ import (
 // the task's dependencies have completed; under that contract no locking is
 // needed because the TDG serializes conflicting accesses. Fused tasks run
 // their constituent kernels back-to-back.
+//
+// sparselint:hotpath
 func Exec(g *graph.TDG, t *graph.Task, st *program.Store) {
 	if len(t.Parts) > 1 {
 		for _, part := range t.Parts {
@@ -30,6 +32,8 @@ func Exec(g *graph.TDG, t *graph.Task, st *program.Store) {
 }
 
 // execPart runs one kernel instance.
+//
+// sparselint:hotpath
 func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first bool, st *program.Store) {
 	t := &fusedView{Kind: kind, Call: call, P: tp, Q: tq, First: first}
 	p := g.Prog

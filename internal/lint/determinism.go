@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismScope is the set of packages whose output must be a pure
+// function of their input: graph construction, partitioning, and the kernel
+// bodies. Bitwise-reproducible runs (same matrix, same plan, same result)
+// are the property the benchmark harness and the plan cache depend on.
+var determinismScope = []string{
+	"internal/graph",
+	"internal/kernels",
+	"internal/blas",
+	"internal/sparse",
+	"internal/program",
+	"internal/matgen",
+}
+
+// determinismRandAllowed are the explicitly-seeded constructors: a
+// rand.New(rand.NewSource(seed)) stream is deterministic, which is exactly
+// how matgen builds reproducible test matrices. The global rand functions
+// (rand.Float64 etc.) draw from a process-global, racily-seeded source and
+// are banned.
+var determinismRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// isCollectLoop recognizes the sanctioned fix for map-order dependence: a
+// range whose body only gathers keys/values into slices (`s = append(s, k)`)
+// for sorting afterwards. Order does not escape such a loop until the slice
+// is used, at which point the caller has had the chance to sort it.
+func isCollectLoop(r *ast.RangeStmt) bool {
+	if len(r.Body.List) == 0 {
+		return false
+	}
+	for _, s := range r.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		dst, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		src, ok := call.Args[0].(*ast.Ident)
+		if !ok || src.Name != dst.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// determinismAnalyzer bans nondeterminism sources in graph-build and kernel
+// packages: wall-clock reads (time.Now/Since/Until), the global math/rand
+// source, and ranging over maps (iteration order is randomized per run).
+func determinismAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "no wall clock, global rand, or map-order dependence in graph/kernel packages",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Prog.Pkgs {
+			if !pathInScope(pkg.Path, determinismScope) {
+				continue
+			}
+			info := pkg.Info
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						f := calleeFunc(info, n)
+						if f == nil || f.Pkg() == nil {
+							return true
+						}
+						switch f.Pkg().Path() {
+						case "time":
+							switch f.Name() {
+							case "Now", "Since", "Until":
+								pass.Reportf(n.Pos(), "time.%s reads the wall clock; plan and kernel output must be deterministic", f.Name())
+							}
+						case "math/rand", "math/rand/v2":
+							// Methods on *rand.Rand are fine — the stream was
+							// seeded explicitly. Package-level draws are not.
+							fsig, _ := f.Type().(*types.Signature)
+							if fsig != nil && fsig.Recv() == nil && !determinismRandAllowed[f.Name()] {
+								pass.Reportf(n.Pos(), "global %s.%s uses the process-wide rand source; use an explicitly seeded rand.New(rand.NewSource(seed))", f.Pkg().Name(), f.Name())
+							}
+						}
+					case *ast.RangeStmt:
+						if t := info.TypeOf(n.X); t != nil {
+							if _, isMap := t.Underlying().(*types.Map); isMap && !isCollectLoop(n) {
+								pass.Reportf(n.Pos(), "map iteration order is nondeterministic; collect and sort keys before ranging")
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathAllocAnalyzer enforces the PR-3 zero-allocation contract on
+// functions annotated `// sparselint:hotpath`: no closures capturing
+// variables, no append without a capacity preallocated in the same function,
+// no implicit interface conversions, no fmt calls or string concatenation,
+// no map/slice literals, and no make. Expressions inside panic(...)
+// arguments are exempt — failure paths never run in steady state, and the
+// kernels' shape-mismatch guards format their message right there.
+func hotpathAllocAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "sparselint:hotpath functions must not contain heap-escaping constructs",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil || !hasAnnotation(fn.Doc, "hotpath") {
+						continue
+					}
+					checkHotFunc(pass, pkg, fn)
+				}
+			}
+		}
+	}
+	return a
+}
+
+func checkHotFunc(pass *Pass, pkg *Package, fn *ast.FuncDecl) {
+	info := pkg.Info
+	prealloc := preallocatedSlices(info, fn.Body)
+
+	// Spans of panic(...) arguments: constructs inside them only run on the
+	// failure path and are exempt.
+	type span struct{ lo, hi token.Pos }
+	var panicSpans []span
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltinCall(info, call, "panic") {
+			for _, arg := range call.Args {
+				panicSpans = append(panicSpans, span{arg.Pos(), arg.End()})
+			}
+		}
+		return true
+	})
+	exempt := func(pos token.Pos) bool {
+		for _, s := range panicSpans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A func literal that captures variables forces a heap-allocated
+			// closure (and usually moves the captures to the heap with it).
+			// Don't descend: the literal body is a different function.
+			if !exempt(n.Pos()) {
+				if caps := capturedVars(info, n); len(caps) > 0 {
+					pass.Reportf(n.Pos(), "closure captures %s; capturing closures allocate in hot paths", caps[0])
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if exempt(n.Pos()) {
+				return true
+			}
+			switch {
+			case isBuiltinCall(info, n, "append"):
+				if !appendPreallocated(info, n, prealloc) {
+					pass.Reportf(n.Pos(), "append may grow its backing array; reslice a preallocated buffer ([:0]) instead")
+				}
+			case isBuiltinCall(info, n, "make"):
+				pass.Reportf(n.Pos(), "make allocates; hoist the allocation out of the hot path")
+			default:
+				if isAnyBuiltin(info, n) {
+					// panic boxes its argument, but it is the failure path;
+					// the other builtins (len, cap, copy, delete) don't box.
+					return true
+				}
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					if types.IsInterface(tv.Type) && len(n.Args) == 1 && isConcrete(info, n.Args[0]) {
+						pass.Reportf(n.Pos(), "conversion to interface %s allocates", tv.Type)
+					}
+					return true
+				}
+				if callee := calleeFunc(info, n); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+					pass.Reportf(n.Pos(), "fmt.%s allocates (formatting + interface boxing)", callee.Name())
+				}
+				checkInterfaceArgs(pass, info, n)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !exempt(n.Pos()) {
+				if t, ok := info.Types[n]; ok {
+					if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if !exempt(n.Pos()) {
+				if t, ok := info.Types[n]; ok {
+					switch t.Type.Underlying().(type) {
+					case *types.Map:
+						pass.Reportf(n.Pos(), "map literal allocates")
+					case *types.Slice:
+						pass.Reportf(n.Pos(), "slice literal allocates")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// preallocatedSlices collects objects assigned from a slice expression
+// (x[a:b], x[:0]) anywhere in body: appending to these reuses a buffer whose
+// capacity was provisioned elsewhere, the PR-3 arena pattern.
+func preallocatedSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if _, ok := rhs.(*ast.SliceExpr); !ok {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendPreallocated reports whether the append target is a variable known
+// to alias a preallocated buffer in this function.
+func appendPreallocated(info *types.Info, call *ast.CallExpr, prealloc map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return prealloc[info.ObjectOf(id)]
+}
+
+// checkInterfaceArgs flags arguments whose concrete value is implicitly
+// converted to an interface parameter — the boxing that makes fmt-style
+// APIs allocate.
+func checkInterfaceArgs(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // x... passes the slice itself
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if isConcrete(info, arg) {
+			pass.Reportf(arg.Pos(), "implicit conversion of %s to interface %s allocates", info.Types[arg].Type, pt)
+		}
+	}
+}
+
+// isConcrete reports whether e has a concrete (non-interface, non-nil) type.
+func isConcrete(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// capturedVars lists variables a func literal references that are declared
+// outside it (free variables, excluding package-level objects which do not
+// force a closure allocation).
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	var out []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // declared inside the literal
+		}
+		if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			return true // package scope: no capture needed
+		}
+		seen[obj] = true
+		out = append(out, v.Name())
+		return true
+	})
+	return out
+}

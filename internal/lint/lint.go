@@ -1,0 +1,206 @@
+// Package lint implements sparselint, the repo-specific static-analysis
+// pass. It turns the discipline rules the sparse-solver stack only enforced
+// by convention — zero-allocation hot paths, lock hygiene in the scheduler
+// and serving layer, deque ownership, context propagation, and deterministic
+// task bodies — into machine-checked gates (see cmd/sparselint and `make
+// lint`).
+//
+// The driver is stdlib-only: packages are parsed with go/parser and
+// type-checked with go/types using the `source` importer, no x/tools. Each
+// analyzer walks the typed ASTs of the whole module at once, so
+// whole-program rules (deque ownership reachability) see every call site.
+//
+// # Annotations
+//
+//	// sparselint:hotpath   — function must not contain heap-escaping
+//	//                        constructs (hotpathalloc)
+//	// sparselint:owner     — method may only be called from functions
+//	//                        reachable from an owner loop (dequeowner)
+//	// sparselint:ownerloop — function is an owning worker loop: the root
+//	//                        set for dequeowner reachability
+//
+// # Suppression
+//
+// A finding is suppressed by a directive on the same line or the line
+// directly above it:
+//
+//	//lint:ignore sparselint/<analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (sparselint/%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Analyzer is one named check run over a whole loaded program.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+}
+
+// Pass gives an analyzer access to the loaded program and a reporting sink.
+type Pass struct {
+	Prog     *Program
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full sparselint analyzer set.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		hotpathAllocAnalyzer(),
+		lockDisciplineAnalyzer(),
+		dequeOwnerAnalyzer(),
+		ctxFirstAnalyzer(),
+		determinismAnalyzer(),
+	}
+}
+
+// AnalyzerByName resolves one analyzer, for the fixture tests.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over prog, applies //lint:ignore suppressions,
+// and returns the surviving findings sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		a.Run(&Pass{Prog: prog, analyzer: a, findings: &findings})
+	}
+	sup, malformed := collectSuppressions(prog, analyzers)
+	findings = append(findings, malformed...)
+	kept := findings[:0]
+	for _, f := range findings {
+		if !sup.matches(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+// ----------------------------------------------------------- suppressions
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(.*)$`)
+
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressions map[suppressionKey]bool
+
+// matches reports whether f is covered by a directive on its own line or the
+// line directly above.
+func (s suppressions) matches(f Finding) bool {
+	return s[suppressionKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
+		s[suppressionKey{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+}
+
+// collectSuppressions scans every comment for //lint:ignore directives.
+// Malformed directives (wrong target, missing reason) come back as findings
+// so a typo cannot silently disable a gate.
+func collectSuppressions(prog *Program, analyzers []*Analyzer) (suppressions, []Finding) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := make(suppressions)
+	var malformed []Finding
+	bad := func(pos token.Pos, format string, args ...any) {
+		malformed = append(malformed, Finding{
+			Analyzer: "directive",
+			Pos:      prog.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					target, reason := m[1], strings.TrimSpace(m[2])
+					name, ok := strings.CutPrefix(target, "sparselint/")
+					if !ok || !known[name] {
+						bad(c.Pos(), "lint:ignore target %q is not a sparselint analyzer", target)
+						continue
+					}
+					if reason == "" {
+						bad(c.Pos(), "lint:ignore sparselint/%s needs a reason", name)
+						continue
+					}
+					p := prog.Fset.Position(c.Pos())
+					sup[suppressionKey{p.Filename, p.Line, name}] = true
+				}
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// ------------------------------------------------------------ annotations
+
+// hasAnnotation reports whether doc carries the `sparselint:<tag>` marker.
+func hasAnnotation(doc *ast.CommentGroup, tag string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "sparselint:" + tag
+	for _, c := range doc.List {
+		for _, f := range strings.Fields(c.Text) {
+			if f == want {
+				return true
+			}
+		}
+	}
+	return false
+}

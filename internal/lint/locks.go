@@ -1,0 +1,519 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockDisciplineAnalyzer enforces mutex hygiene everywhere: every Lock/RLock
+// must be matched by an Unlock (or defer Unlock) on every path out of the
+// same function, sync primitives must not be copied by value, and no
+// blocking operation (channel send/receive, blocking select, time.Sleep,
+// WaitGroup.Wait) may run while a lock is held. sync.Cond.Wait is allowed —
+// it releases the mutex while parked — and a select with a default clause is
+// non-blocking by construction (the sched inbox and server admission-queue
+// pattern).
+func lockDisciplineAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "locks released on all paths, no copies, no blocking while held",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					checkLockCopies(pass, pkg, fn)
+					if fn.Body == nil {
+						continue
+					}
+					lc := &lockChecker{pass: pass, info: pkg.Info}
+					lc.checkFunc(fn.Body)
+					// Func literals are their own scopes: a closure must
+					// balance the locks it takes itself.
+					ast.Inspect(fn.Body, func(n ast.Node) bool {
+						if lit, ok := n.(*ast.FuncLit); ok {
+							lc.checkFunc(lit.Body)
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	return a
+}
+
+type lockChecker struct {
+	pass *Pass
+	info *types.Info
+}
+
+// lockState tracks the locks a path currently holds. held locks need an
+// explicit Unlock before every return; deferred locks are released at
+// return by a `defer Unlock` but are still physically held, so blocking
+// operations remain forbidden while they are set.
+type lockState struct {
+	held     map[string]token.Pos // lock key -> Lock call position
+	deferred map[string]token.Pos
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]token.Pos{}}
+}
+
+func (st *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	for k, v := range st.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+func (st *lockState) replaceWith(o *lockState) {
+	clear(st.held)
+	clear(st.deferred)
+	for k, v := range o.held {
+		st.held[k] = v
+	}
+	for k, v := range o.deferred {
+		st.deferred[k] = v
+	}
+}
+
+// union folds o in, keeping the union of held/deferred locks (conservative
+// for "missing Unlock" reporting when branches diverge).
+func (st *lockState) union(o *lockState) {
+	for k, v := range o.held {
+		if _, ok := st.held[k]; !ok {
+			st.held[k] = v
+		}
+	}
+	for k, v := range o.deferred {
+		if _, ok := st.deferred[k]; !ok {
+			st.deferred[k] = v
+		}
+	}
+}
+
+// anyHeld names one lock that is physically held (held or deferred), for
+// blocking-operation diagnostics. Empty when nothing is held.
+func (st *lockState) anyHeld() string {
+	keys := make([]string, 0, len(st.held)+len(st.deferred))
+	for k := range st.held {
+		keys = append(keys, k)
+	}
+	for k := range st.deferred {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	return keys[0]
+}
+
+// anyUnreleased names one lock with no Unlock scheduled on this path.
+func (st *lockState) anyUnreleased() string {
+	keys := make([]string, 0, len(st.held))
+	for k := range st.held {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	return keys[0]
+}
+
+// mutexOp classifies call as a sync.Mutex/RWMutex operation.
+func (lc *lockChecker) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch funcFullName(calleeFunc(lc.info, call)) {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+		return types.ExprString(sel.X), "lock", true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock":
+		return types.ExprString(sel.X), "unlock", true
+	case "(*sync.RWMutex).RLock":
+		return types.ExprString(sel.X) + ":r", "lock", true
+	case "(*sync.RWMutex).RUnlock":
+		return types.ExprString(sel.X) + ":r", "unlock", true
+	}
+	return "", "", false
+}
+
+// checkFunc runs the path-sensitive held-lock walk over one function body.
+func (lc *lockChecker) checkFunc(body *ast.BlockStmt) {
+	st := newLockState()
+	terminated := lc.stmts(body.List, st)
+	if !terminated {
+		for key, pos := range st.held {
+			lc.pass.Reportf(pos, "%s is locked here but not released on every path out of the function", key)
+		}
+	}
+}
+
+// stmts walks a statement list, tracking held locks. It returns true when
+// the list always terminates (return/branch) before falling off the end.
+func (lc *lockChecker) stmts(list []ast.Stmt, st *lockState) bool {
+	for _, s := range list {
+		if lc.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lc *lockChecker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op, ok := lc.mutexOp(call); ok {
+				if op == "lock" {
+					st.held[key] = call.Pos()
+				} else {
+					delete(st.held, key)
+					delete(st.deferred, key)
+				}
+				return false
+			}
+		}
+		lc.exprScan(s.X, st)
+	case *ast.DeferStmt:
+		if key, op, ok := lc.mutexOp(s.Call); ok && op == "unlock" {
+			if pos, held := st.held[key]; held {
+				st.deferred[key] = pos
+			}
+			delete(st.held, key)
+			return false
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// defer func() { ...; mu.Unlock(); ... }() releases at return.
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, op, ok := lc.mutexOp(call); ok && op == "unlock" {
+						if pos, held := st.held[key]; held {
+							st.deferred[key] = pos
+						}
+						delete(st.held, key)
+					}
+				}
+				return true
+			})
+		}
+		for _, arg := range s.Call.Args {
+			lc.exprScan(arg, st)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lc.exprScan(r, st)
+		}
+		if key := st.anyUnreleased(); key != "" {
+			lc.pass.Reportf(s.Pos(), "return while holding %s; this path is missing an Unlock", key)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this list; the loop-level analysis is
+		// approximate, so just stop here.
+		return true
+	case *ast.BlockStmt:
+		return lc.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return lc.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		lc.exprScan(s.Cond, st)
+		thenSt := st.clone()
+		tThen := lc.stmts(s.Body.List, thenSt)
+		if s.Else != nil {
+			elseSt := st.clone()
+			tElse := lc.stmt(s.Else, elseSt)
+			switch {
+			case tThen && tElse:
+				return true
+			case tThen:
+				st.replaceWith(elseSt)
+			case tElse:
+				st.replaceWith(thenSt)
+			default:
+				thenSt.union(elseSt)
+				st.replaceWith(thenSt)
+			}
+			return false
+		}
+		if !tThen {
+			st.union(thenSt)
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			lc.exprScan(s.Cond, st)
+		}
+		body := st.clone()
+		lc.stmts(s.Body.List, body)
+		if s.Post != nil {
+			lc.stmt(s.Post, body)
+		}
+		// The loop may run zero times; continue with the pre-loop state.
+		// Exception: `for { ... }` with no condition never falls through —
+		// when the body has no break, the statement after the loop is
+		// unreachable.
+		if s.Cond == nil && !forBodyBreaks(s.Body) {
+			return true
+		}
+	case *ast.RangeStmt:
+		lc.exprScan(s.X, st)
+		body := st.clone()
+		lc.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			lc.exprScan(s.Tag, st)
+		}
+		return lc.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		return lc.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			if key := st.anyHeld(); key != "" {
+				lc.pass.Reportf(s.Pos(), "select with no default may block while holding %s", key)
+			}
+		}
+		// The comm operations are non-blocking once the select fires (or
+		// guarded by default); only walk the clause bodies.
+		allTerm := true
+		var merged *lockState
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := st.clone()
+			if !lc.stmts(cc.Body, branch) {
+				allTerm = false
+				if merged == nil {
+					merged = branch
+				} else {
+					merged.union(branch)
+				}
+			}
+		}
+		if allTerm && len(s.Body.List) > 0 {
+			return true
+		}
+		if merged != nil {
+			st.replaceWith(merged)
+		}
+	case *ast.SendStmt:
+		if key := st.anyHeld(); key != "" {
+			lc.pass.Reportf(s.Pos(), "channel send while holding %s may block with the lock held", key)
+		}
+		lc.exprScan(s.Chan, st)
+		lc.exprScan(s.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.exprScan(e, st)
+		}
+		for _, e := range s.Lhs {
+			lc.exprScan(e, st)
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			lc.exprScan(arg, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lc.exprScan(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		lc.exprScan(s.X, st)
+	}
+	return false
+}
+
+// caseClauses merges the branches of a switch body; terminated only when
+// every case terminates and a default exists (otherwise the switch can fall
+// through with no case taken).
+func (lc *lockChecker) caseClauses(body *ast.BlockStmt, st *lockState) bool {
+	hasDefault := false
+	allTerm := true
+	var merged *lockState
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			lc.exprScan(e, st)
+		}
+		branch := st.clone()
+		if !lc.stmts(cc.Body, branch) {
+			allTerm = false
+			if merged == nil {
+				merged = branch
+			} else {
+				merged.union(branch)
+			}
+		}
+	}
+	if hasDefault && allTerm && len(body.List) > 0 {
+		return true
+	}
+	if merged != nil {
+		if !hasDefault {
+			merged.union(st)
+		}
+		st.replaceWith(merged)
+	}
+	return false
+}
+
+// exprScan flags blocking operations buried in an expression (channel
+// receives, time.Sleep, WaitGroup.Wait) while a lock is held. Func literals
+// are skipped: they execute in their own context. sync.Cond.Wait is
+// deliberately not flagged — it releases the mutex while parked.
+func (lc *lockChecker) exprScan(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	key := st.anyHeld()
+	if key == "" {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				lc.pass.Reportf(n.Pos(), "channel receive while holding %s may block with the lock held", key)
+			}
+		case *ast.CallExpr:
+			switch funcFullName(calleeFunc(lc.info, n)) {
+			case "time.Sleep", "(*sync.WaitGroup).Wait":
+				lc.pass.Reportf(n.Pos(), "blocking call while holding %s", key)
+			}
+		}
+		return true
+	})
+}
+
+// forBodyBreaks reports whether a for body contains a break binding to this
+// loop.
+func forBodyBreaks(body *ast.BlockStmt) bool {
+	breaks := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				breaks = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// break inside these binds to them, not to our loop.
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return breaks
+}
+
+// checkLockCopies flags sync primitives copied by value: by-value receivers,
+// parameters, and results; range copies; and plain assignments from a
+// dereference/field/element.
+func checkLockCopies(pass *Pass, pkg *Package, fn *ast.FuncDecl) {
+	info := pkg.Info
+	checkField := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); !isPtr && containsLock(t) {
+				pass.Reportf(f.Type.Pos(), "%s copies %s, which contains a sync primitive; use a pointer", what, t)
+			}
+		}
+	}
+	checkField(fn.Recv, "receiver")
+	checkField(fn.Type.Params, "parameter")
+	checkField(fn.Type.Results, "result")
+	if fn.Body == nil {
+		return
+	}
+	copyKind := func(e ast.Expr) bool {
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if v, ok := n.Value.(*ast.Ident); ok {
+				if t := info.TypeOf(v); t != nil {
+					if _, isPtr := t.(*types.Pointer); !isPtr && containsLock(t) {
+						pass.Reportf(v.Pos(), "range copies %s, which contains a sync primitive; iterate by index", t)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue // discarded, nothing is stored
+				}
+				if !copyKind(rhs) {
+					continue
+				}
+				t := info.TypeOf(rhs)
+				if t == nil {
+					continue
+				}
+				if _, isPtr := t.(*types.Pointer); !isPtr && containsLock(t) {
+					pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a sync primitive", t)
+				}
+			}
+		}
+		return true
+	})
+}

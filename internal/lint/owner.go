@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// dequeOwnerAnalyzer enforces single-owner access to work-stealing deques:
+// methods annotated `// sparselint:owner` (Deque.Push/Pop — the owner-only
+// end of the Chase–Lev deque) may only be called from functions statically
+// reachable from a `// sparselint:ownerloop` root (the scheduler's worker
+// loop). Everything else must go through Steal or be suppressed with an
+// explicit justification (e.g. seeding roots before the workers start).
+func dequeOwnerAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "dequeowner",
+		Doc:  "sparselint:owner methods called only from sparselint:ownerloop reachable code",
+	}
+	a.Run = func(pass *Pass) {
+		owners := make(map[*types.Func]bool)
+		roots := make(map[*types.Func]bool)
+		edges := make(map[*types.Func][]*types.Func)
+		type callSite struct {
+			pos    token.Pos
+			caller *types.Func
+			callee *types.Func
+		}
+		var sites []callSite
+
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					def, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+					if def == nil {
+						continue
+					}
+					if hasAnnotation(fn.Doc, "owner") {
+						owners[def] = true
+					}
+					if hasAnnotation(fn.Doc, "ownerloop") {
+						roots[def] = true
+					}
+					if fn.Body == nil {
+						continue
+					}
+					// Func literal bodies are attributed to the enclosing
+					// declaration: a closure runs with its creator's ownership.
+					ast.Inspect(fn.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						callee := calleeFunc(pkg.Info, call)
+						if callee == nil {
+							return true
+						}
+						edges[def] = append(edges[def], callee)
+						sites = append(sites, callSite{call.Pos(), def, callee})
+						return true
+					})
+				}
+			}
+		}
+		if len(owners) == 0 {
+			return
+		}
+
+		reachable := make(map[*types.Func]bool)
+		var queue []*types.Func
+		for r := range roots {
+			reachable[r] = true
+			queue = append(queue, r)
+		}
+		sort.Slice(queue, func(i, j int) bool { return queue[i].FullName() < queue[j].FullName() })
+		for len(queue) > 0 {
+			f := queue[0]
+			queue = queue[1:]
+			for _, next := range edges[f] {
+				if !reachable[next] {
+					reachable[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+
+		for _, s := range sites {
+			if !owners[s.callee] {
+				continue
+			}
+			if reachable[s.caller] || owners[s.caller] {
+				continue
+			}
+			pass.Reportf(s.pos, "%s is owner-only (sparselint:owner) but %s is not reachable from any sparselint:ownerloop",
+				s.callee.FullName(), s.caller.FullName())
+		}
+	}
+	return a
+}

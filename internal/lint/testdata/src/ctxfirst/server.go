@@ -1,0 +1,58 @@
+// Package server exercises sparselint/ctxfirst. It loads under the import
+// path fixture/internal/server, which is in the analyzer's scope.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Pool is an exported type whose methods form the package API.
+type Pool struct{ wg sync.WaitGroup }
+
+func Wait(name string, ctx context.Context) { // want `context.Context must be the first parameter of Wait`
+	<-ctx.Done()
+	_ = name
+}
+
+func (p *Pool) Drain() { // want `exported Drain can block but takes no context.Context`
+	p.wg.Wait()
+}
+
+// Close is io.Closer-shaped and exempt even though it blocks.
+func (p *Pool) Close() {
+	p.wg.Wait()
+}
+
+// Handle derives its context from the request and is exempt.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Millisecond)
+	_ = w
+}
+
+// Run rebinds a nil ctx defensively (allowed) but then mints a fresh root
+// context for a downstream call (flagged).
+func Run(ctx context.Context, p *Pool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work(context.Background(), p) // want `Run already receives a ctx; propagate it instead of context.Background`
+}
+
+// work is unexported: the blocking rule applies to exported API only.
+func work(ctx context.Context, p *Pool) error {
+	p.wg.Wait()
+	return ctx.Err()
+}
+
+// Runner is an exported contract; its methods obey the same position rule.
+type Runner interface {
+	Run(name string, ctx context.Context) error // want `context.Context must be the first parameter of interface method Run`
+}
+
+//lint:ignore sparselint/ctxfirst fixture: pre-context API frozen for wire compatibility
+func Legacy(p *Pool) {
+	p.wg.Wait()
+}

@@ -1,0 +1,59 @@
+// Package deque exercises sparselint/dequeowner: sparselint:owner methods
+// may only be called from code reachable from a sparselint:ownerloop root.
+package deque
+
+type queue struct{ xs []int }
+
+// Push adds v at the owner end.
+//
+// sparselint:owner
+func (q *queue) Push(v int) { q.xs = append(q.xs, v) }
+
+// Pop removes the owner-end element.
+//
+// sparselint:owner
+func (q *queue) Pop() (int, bool) {
+	if len(q.xs) == 0 {
+		return 0, false
+	}
+	v := q.xs[len(q.xs)-1]
+	q.xs = q.xs[:len(q.xs)-1]
+	return v, true
+}
+
+// loop is the owning worker loop.
+//
+// sparselint:ownerloop
+func loop(q *queue) {
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			return
+		}
+		process(q, v)
+	}
+}
+
+// process is reachable from loop, so its Push is legal.
+func process(q *queue, v int) {
+	if v%2 == 0 {
+		q.Push(v / 2)
+	}
+}
+
+// outsider is not reachable from any owner loop.
+func outsider(q *queue) {
+	q.Push(1)                 // want `Push is owner-only`
+	if v, ok := q.Pop(); ok { // want `Pop is owner-only`
+		_ = v
+	}
+}
+
+// seed runs before the loop starts, which the analyzer cannot see; the
+// suppression records the protocol argument.
+func seed(q *queue) {
+	//lint:ignore sparselint/dequeowner fixture: seeding happens before the owner loop starts
+	q.Push(0)
+}
+
+var _ = []any{outsider, seed, loop}

@@ -1,0 +1,52 @@
+// Package kernels exercises sparselint/determinism. It loads under the
+// import path fixture/internal/kernels, which is in the analyzer's scope.
+package kernels
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func Jitter() float64 {
+	return rand.Float64() // want `uses the process-wide rand source`
+}
+
+// Seeded draws from an explicitly seeded stream: deterministic, allowed.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Keys is the sanctioned collect-then-sort idiom: the gather loop is exempt.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+func Max(m map[string]int) int {
+	best := 0
+	//lint:ignore sparselint/determinism fixture: max over values is order-independent
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,67 @@
+// Package hot exercises sparselint/hotpathalloc: annotated functions must
+// not contain heap-escaping constructs; unannotated functions may.
+package hot
+
+import "fmt"
+
+var sink func() int
+
+// hotBad trips every rule.
+//
+// sparselint:hotpath
+func hotBad(xs []int, name string) {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	sink = func() int { return total } // want `closure captures total`
+	var ys []int
+	ys = append(ys, total) // want `append may grow its backing array`
+	_ = ys
+	tmp := make([]int, 8) // want `make allocates`
+	_ = tmp
+	fmt.Println(total)  // want `fmt.Println allocates` `implicit conversion of int to interface`
+	label := name + "!" // want `string concatenation allocates`
+	_ = label
+	_ = any(total)      // want `conversion to interface`
+	m := map[int]bool{} // want `map literal allocates`
+	_ = m
+	lit := []int{1, 2} // want `slice literal allocates`
+	_ = lit
+}
+
+// hotClean shows the sanctioned patterns: reslice-then-append reuses a
+// preallocated buffer, and panic arguments are failure-path-only.
+//
+// sparselint:hotpath
+func hotClean(dst, src []float64) {
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("hot: dst too small: %d < %d", len(dst), len(src)))
+	}
+	out := dst[:0]
+	for _, v := range src {
+		out = append(out, 2*v)
+	}
+	_ = out
+}
+
+// hotSuppressed carries an explicit justification.
+//
+// sparselint:hotpath
+func hotSuppressed(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		//lint:ignore sparselint/hotpathalloc fixture: growth is amortized across the whole run
+		out = append(out, x)
+	}
+	return out
+}
+
+// cold is not annotated: anything goes.
+func cold(xs []int) string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprint(x))
+	}
+	return fmt.Sprint(out)
+}

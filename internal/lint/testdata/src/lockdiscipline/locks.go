@@ -1,0 +1,82 @@
+// Package locks exercises sparselint/lockdiscipline: balanced release on
+// every path, no blocking while held, no copies of sync primitives.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (g *guarded) missingUnlock(cond bool) {
+	g.mu.Lock() // want `locked here but not released on every path`
+	if cond {
+		g.n++
+	}
+}
+
+func (g *guarded) returnWhileHeld(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		return g.n // want `return while holding g.mu`
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func (g *guarded) blockWhileHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1                    // want `channel send while holding g.mu`
+	time.Sleep(time.Millisecond) // want `blocking call while holding g.mu`
+	<-g.ch                       // want `channel receive while holding g.mu`
+}
+
+func (g *guarded) selectNoDefault() {
+	g.mu.Lock()
+	select { // want `select with no default may block while holding g.mu`
+	case v := <-g.ch:
+		g.n = v
+	}
+	g.mu.Unlock()
+}
+
+func copyParam(g guarded) { // want `parameter copies`
+	_ = g
+}
+
+func copyAssign(p *guarded) {
+	v := *p // want `assignment copies`
+	_ = v.n
+}
+
+func copyRange(list []guarded) {
+	for _, v := range list { // want `range copies`
+		_ = v.n
+	}
+}
+
+// clean is the sanctioned shape: defer covers every return, and the select
+// is non-blocking by construction.
+func (g *guarded) clean() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		return v
+	default:
+	}
+	return g.n
+}
+
+func (g *guarded) suppressed() {
+	g.mu.Lock()
+	//lint:ignore sparselint/lockdiscipline fixture: channel is buffered with capacity reserved at Lock time
+	g.ch <- 1
+	g.mu.Unlock()
+}

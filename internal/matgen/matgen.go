@@ -23,6 +23,7 @@ package matgen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"sparsetask/internal/sparse"
 )
@@ -236,7 +237,14 @@ func BlockCI(rows, blk, blocksPerRow int, seed int64) *sparse.COO {
 				partners[bj] = true
 			}
 		}
+		// Drain the partner set in sorted order: the rng draws below must not
+		// depend on map iteration order or the matrix changes run to run.
+		sorted := make([]int, 0, len(partners))
 		for bj := range partners {
+			sorted = append(sorted, bj)
+		}
+		sort.Ints(sorted)
+		for _, bj := range sorted {
 			if bj < bi {
 				continue // handled from the other side
 			}

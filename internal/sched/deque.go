@@ -46,6 +46,8 @@ func NewDeque() *Deque {
 }
 
 // Push adds v at the bottom. Only the owner goroutine may call Push.
+//
+// sparselint:owner sparselint:hotpath
 func (d *Deque) Push(v int32) {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -59,6 +61,8 @@ func (d *Deque) Push(v int32) {
 }
 
 // Pop removes and returns the bottom element. Only the owner may call Pop.
+//
+// sparselint:owner sparselint:hotpath
 func (d *Deque) Pop() (int32, bool) {
 	b := d.bottom.Load() - 1
 	r := d.ring.Load()
@@ -83,6 +87,8 @@ func (d *Deque) Pop() (int32, bool) {
 }
 
 // Steal removes and returns the top element. Any goroutine may call Steal.
+//
+// sparselint:hotpath
 func (d *Deque) Steal() (int32, bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()

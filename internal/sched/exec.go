@@ -301,6 +301,7 @@ func (e *Executor) Run(ctx context.Context) error {
 				e.rootrr[d]++
 			}
 		}
+		//lint:ignore sparselint/dequeowner root seeding happens before any worker starts; no owner exists yet
 		e.deques[w].Push(t)
 	}
 	// Cancellation shuts the pool down exactly like a panic, minus the
@@ -399,6 +400,8 @@ func (e *Executor) halt() {
 }
 
 // rngNext advances worker w's private xorshift64 stream.
+//
+// sparselint:hotpath
 func (e *Executor) rngNext(w int) uint64 {
 	s := e.rng[w].s
 	s ^= s << 13
@@ -412,6 +415,8 @@ func (e *Executor) rngNext(w int) uint64 {
 // domain (inbox, then same-domain victims), then remote domains (victim
 // deques with a steal-half burst, then remote inboxes). The returned tier
 // says which level supplied the task.
+//
+// sparselint:hotpath
 func (e *Executor) take(w int) (int32, int, bool) {
 	// Own queue first, in the configured discipline.
 	if e.disc == LIFO {
@@ -496,6 +501,8 @@ func (e *Executor) take(w int) (int32, int, bool) {
 // anyone; the caller batches one wake per ready set. Tasks preferring a
 // foreign domain go to that domain's inbox — never another worker's deque,
 // which only its owner may Push.
+//
+// sparselint:hotpath
 func (e *Executor) route(w int, t int32) {
 	if e.aff != nil && e.ndom > 1 {
 		if d := e.aff(t); d >= 0 {
@@ -525,17 +532,24 @@ func (e *Executor) finish() {
 	e.mu.Unlock()
 }
 
+// recoverAbort is runWorker's deferred panic backstop: a panicking task must
+// not kill the worker silently (the pool would deadlock waiting for its
+// tasks), so capture the first panic, shut the run down, and let Run re-panic
+// on the caller's goroutine. A named method rather than a closure so the
+// worker entry path stays allocation-free.
+func (e *Executor) recoverAbort() {
+	if r := recover(); r != nil {
+		e.abort(r)
+	}
+}
+
 // runWorker participates in the current run as worker w until the run
-// completes, is cancelled, or panics.
+// completes, is cancelled, or panics. It is the owning loop for worker w's
+// deque: all Push/Pop traffic happens on code reachable from here.
+//
+// sparselint:hotpath sparselint:ownerloop
 func (e *Executor) runWorker(w int) {
-	defer func() {
-		// A panicking task must not kill the worker silently (the pool
-		// would deadlock waiting for its tasks): capture the first panic,
-		// shut the run down, and re-panic on the caller's goroutine in Run.
-		if r := recover(); r != nil {
-			e.abort(r)
-		}
-	}()
+	defer e.recoverAbort()
 	spins := 0
 	for {
 		if e.total.Load() <= 0 {
@@ -579,6 +593,8 @@ func (e *Executor) runWorker(w int) {
 // run inline, skipping the deque round-trip and wake; the remaining ready
 // tasks are routed in one batch with a single wake. Returns true when the
 // run's last task executed here.
+//
+// sparselint:hotpath
 func (e *Executor) runChain(w int, t int32, tier int) bool {
 	st := &e.stats[w]
 	myDom := e.domOf[w]

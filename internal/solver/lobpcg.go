@@ -384,6 +384,8 @@ func (l *LOBPCG) initState(seed int64) error {
 // Frobenius residual norm it measured. Steady-state calls perform no heap
 // allocations: the graph, store, prepared executor, and Rayleigh–Ritz
 // workspace are all reused.
+//
+// sparselint:hotpath
 func (l *LOBPCG) iterate(ctx context.Context, pr rt.PreparedRun) (float64, error) {
 	if err := pr.Run(ctx); err != nil {
 		return 0, err

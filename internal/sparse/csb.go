@@ -112,6 +112,8 @@ func (a *CSR) ToCSB(block int) *CSB { return a.ToCOO().ToCSB(block) }
 // the exact accumulation order of the scalar loop (bit-identical results);
 // the tile's coordinate and value arrays are re-sliced once so the per-entry
 // bounds checks on them vanish.
+//
+// sparselint:hotpath
 func (a *CSB) BlockSpMV(y, x []float64, bi, bj int) {
 	k := a.BlockIndex(bi, bj)
 	lo, hi := a.BlkPtr[k], a.BlkPtr[k+1]
@@ -146,6 +148,8 @@ func (a *CSB) BlockSpMV(y, x []float64, bi, bj int) {
 // offsets with a single bounds check per entry. Column updates within an
 // entry are independent outputs, so unrolling them is bit-identical to the
 // scalar loop. The generic path handles every other width.
+//
+// sparselint:hotpath
 func (a *CSB) BlockSpMM(y, x []float64, n, bi, bj int) {
 	k := a.BlockIndex(bi, bj)
 	lo, hi := a.BlkPtr[k], a.BlkPtr[k+1]

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Static-analysis gate: gofmt, go vet, and sparselint (the repo-specific
+# analyzers in internal/lint). Run from the repo root; `make lint` and
+# `make check` call this. Exits nonzero on the first failing stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "lint: gofmt"
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+    echo "gofmt needed on:"
+    echo "$out"
+    exit 1
+fi
+
+echo "lint: go vet"
+go vet ./...
+
+echo "lint: sparselint"
+go run ./cmd/sparselint -json ./...
