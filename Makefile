@@ -28,11 +28,11 @@ test:
 	$(GO) test ./...
 
 # The serving layer, scheduler, runtime backends, graph builder, solver
-# drivers, and topology layer are the concurrency hot spots; they must also
-# pass under the race detector (the hierarchical steal paths in sched and rt
-# especially).
+# drivers, preconditioner, and topology layer are the concurrency hot spots;
+# they must also pass under the race detector (the hierarchical steal paths
+# in sched and rt, and the level-scheduled triangular wavefronts, especially).
 race:
-	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/graph/... ./internal/rt/... ./internal/solver/... ./internal/topo/...
+	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/graph/... ./internal/rt/... ./internal/solver/... ./internal/precond/... ./internal/topo/...
 
 # Short fuzz session for the MatrixMarket parser (regression seeds always run
 # as part of `make test`).
@@ -44,8 +44,9 @@ smoke:
 	./scripts/smoke.sh
 
 # Performance baseline: kernel microbenches, per-backend solver runs, and a
-# short serving-layer load run; updates BENCH_PR3.json (baseline preserved).
-# Not part of `check` — run it when touching hot paths.
+# short serving-layer load run; updates BENCH_PR6.json (baseline preserved,
+# seeded from the BENCH_PR3.json trajectory on first run). Not part of
+# `check` — run it when touching hot paths.
 bench:
 	./scripts/bench.sh
 

@@ -30,7 +30,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	for _, want := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "heuristic", "headline"} {
+	for _, want := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "heuristic", "pcg", "headline"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -321,6 +321,27 @@ func itoa(n int) string {
 		return "8"
 	}
 	return "?"
+}
+
+func TestPCGExperiment(t *testing.T) {
+	r, err := runPCG(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 sizes at tiny preset", len(r.Rows))
+	}
+	// The preconditioner's payoff grows with problem size; even at the tiny
+	// preset's largest size the iteration ratio must clearly beat 2x (the
+	// acceptance 3x is asserted at n=100k in internal/solver).
+	if ratio := r.Metrics["ratio_at_max_n"]; ratio < 2 {
+		t.Errorf("PCG iteration ratio %v at max size, want >= 2", ratio)
+	}
+	for k, v := range r.Metrics {
+		if strings.HasPrefix(k, "levels/") && v < 2 {
+			t.Errorf("%s = %v, want a multi-level forward solve", k, v)
+		}
+	}
 }
 
 func TestLocality(t *testing.T) {

@@ -172,6 +172,7 @@ func All() []Experiment {
 		{"fig13", "Fig. 13", "LOBPCG execution flow graph (nlpkkt240 analog)", runFig13},
 		{"fig14", "Fig. 14", "performance profiles of block-count bins (LOBPCG)", runFig14},
 		{"heuristic", "§5.4", "block-size sweep: tasking overhead vs parallelism", runHeuristic},
+		{"pcg", "§4+", "IC(0)-preconditioned CG vs CG: iterations and level-DAG shape", runPCG},
 		{"locality", "§5.2", "hierarchical vs uniform-random stealing: locality and LLC misses", runLocality},
 		{"ablation", "§5.1", "scheduling ablations: HPX NUMA hints, Regent tracing, depth-first bias", runAblation},
 		{"futurework", "§6", "distributed memory: hpx-dist vs mpi+omp over 1-8 nodes", runFutureWork},
@@ -325,7 +326,8 @@ func buildGraph(coo *sparse.COO, k SolverKind, blockCount int, opt graph.Options
 			return nil, err
 		}
 		g := l.Graph()
-		if opt != graph.DefaultOptions() || reduceSpMM {
+		// Options holds maps now, so compare the only field ablations vary.
+		if !opt.SkipEmpty || reduceSpMM {
 			return rebuild(l.Program(), l.Graph(), csb, opt, reduceSpMM)
 		}
 		return g, nil
@@ -334,7 +336,7 @@ func buildGraph(coo *sparse.COO, k SolverKind, blockCount int, opt graph.Options
 		if err != nil {
 			return nil, err
 		}
-		if opt != graph.DefaultOptions() || reduceSpMM {
+		if !opt.SkipEmpty || reduceSpMM {
 			return rebuild(l.Program(), l.Graph(), csb, opt, reduceSpMM)
 		}
 		return l.Graph(), nil

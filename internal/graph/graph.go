@@ -52,11 +52,16 @@ const (
 	// TDiagScale computes Out[bi] = D[bi]∘A[bi] row-wise (Jacobi
 	// preconditioner application).
 	TDiagScale
+	// TTrsv performs the substitution for rows of block bi of a triangular
+	// solve. Tasks of one CSpTrsv call form the factor's level DAG: each
+	// reads the output blocks its rows reference, so RAW edges reproduce the
+	// level schedule and one level is one rank of independent tasks.
+	TTrsv
 )
 
 var taskKindNames = [...]string{
 	"SpMM", "SpMM0", "SpMMbuf", "SpMMred", "XY", "XTYp", "XTYr",
-	"AXPBY", "SCALE", "DOTp", "DOTr", "SMALL", "COPY", "DSCALE",
+	"AXPBY", "SCALE", "DOTp", "DOTr", "SMALL", "COPY", "DSCALE", "TRSV",
 }
 
 func (k TaskKind) String() string {
@@ -83,6 +88,7 @@ const (
 	spacePartial
 	spaceSpMMBuf
 	spaceScratch
+	spaceTri
 )
 
 func pack(space uint64, owner int32, part int64) uint64 {
@@ -115,6 +121,9 @@ func SpMMBufRegion(call, bj, bi, np int) uint64 {
 // ScratchRegion identifies a per-core scratch buffer (e.g. the panel-packing
 // workspace of BLAS-library kernels in the BSP baselines).
 func ScratchRegion(core int) uint64 { return pack(spaceScratch, int32(core), 0) }
+
+// TriRegion identifies row block bi of triangular-factor operand op.
+func TriRegion(op program.OperandID, bi int) uint64 { return pack(spaceTri, int32(op), int64(bi)) }
 
 // Task is one schedulable unit. Deps lists predecessor task ids; Succs is
 // filled in after construction. P is the output row partition (bi) and Q the
@@ -162,6 +171,15 @@ type Options struct {
 	// SkipEmpty omits tasks for empty CSB tiles (paper Fig. 6 optimization;
 	// on by default in all experiments, toggled off for the ablation).
 	SkipEmpty bool
+	// Tris supplies the CSR factor behind each OpTri operand referenced by a
+	// CSpTrsv call; the factor's sparsity determines the level-DAG edges.
+	Tris map[program.OperandID]*sparse.CSR
+	// TriDeps optionally memoizes the per-block dependency lists of each
+	// factor (precond.Levels.BlockDeps, computed once per matrix and cached
+	// by solverd alongside the factorization). When present for an operand,
+	// expansion skips re-scanning the factor's rows; the lists must match
+	// the program block size.
+	TriDeps map[program.OperandID][][]int32
 }
 
 // DefaultOptions returns the configuration used by the paper's main results.
@@ -299,6 +317,8 @@ func (b *builder) expand(ci int32, c *program.Call) error {
 		b.expandCopy(ci, c)
 	case program.CDiagScale:
 		b.expandDiagScale(ci, c)
+	case program.CSpTrsv:
+		return b.expandSpTrsv(ci, c)
 	default:
 		return fmt.Errorf("unknown call kind %v", c.Kind)
 	}
@@ -538,6 +558,106 @@ func (b *builder) expandDiagScale(ci int32, c *program.Call) {
 			{VecRegion(c.B, bi), rows * 8},
 		}, []Ref{{VecRegion(c.Out, bi), rows * int64(n) * 8}})
 	}
+}
+
+// expandSpTrsv emits one TTrsv task per row block of the factor. Tasks are
+// emitted in substitution order (ascending blocks for the forward solve,
+// descending for the backward), and each task *reads* the output blocks its
+// rows reference, so the generic RAW machinery reproduces the factor's level
+// DAG — the irregular, deep-critical-path graph shape the level-scheduled
+// incomplete-Cholesky literature targets. Cross-block dependency lists come
+// either from opt.TriDeps (memoized precond.Levels) or a direct scan of the
+// factor's rows; both yield identical sorted lists.
+func (b *builder) expandSpTrsv(ci int32, c *program.Call) error {
+	p := b.g.Prog
+	tri, ok := b.opt.Tris[c.A]
+	if !ok {
+		return fmt.Errorf("no CSR factor attached for operand %d (Options.Tris)", c.A)
+	}
+	if tri.Rows != p.M || tri.Cols != p.M {
+		return fmt.Errorf("factor is %dx%d, program rows %d", tri.Rows, tri.Cols, p.M)
+	}
+	memo := b.opt.TriDeps[c.A]
+	if memo != nil && len(memo) != p.NP {
+		return fmt.Errorf("memoized level deps cover %d blocks, program has %d", len(memo), p.NP)
+	}
+	var scratch []int32
+	for k := 0; k < p.NP; k++ {
+		bi := k
+		if c.Upper {
+			bi = p.NP - 1 - k
+		}
+		rlo := bi * p.Block
+		rhi := rlo + p.PartRows(bi)
+		nnz := tri.RowPtr[rhi] - tri.RowPtr[rlo]
+		var deps []int32
+		if memo != nil {
+			deps = memo[bi]
+		} else {
+			deps = blockDeps(tri, bi, p.Block, c.Upper, scratch[:0])
+			scratch = deps
+		}
+		rows := int64(rhi - rlo)
+		reads := make([]Ref, 0, len(deps)+2)
+		reads = append(reads,
+			Ref{TriRegion(c.A, bi), nnz * 12}, // 8B value + 4B column index
+			Ref{VecRegion(c.B, bi), rows * 8},
+		)
+		for _, j := range deps {
+			reads = append(reads, Ref{VecRegion(c.Out, int(j)), int64(p.PartRows(int(j))) * 8})
+		}
+		b.addTask(Task{
+			Kind: TTrsv, Call: ci, P: int32(bi), Q: -1,
+			Flops: 2 * nnz,
+		}, reads, []Ref{{VecRegion(c.Out, bi), rows * 8}})
+	}
+	return nil
+}
+
+// blockDeps scans the factor rows of block bi and returns the sorted list of
+// other blocks whose solution entries they reference (the same computation
+// precond.Levels memoizes). dst is reused scratch.
+func blockDeps(tri *sparse.CSR, bi, block int, upper bool, dst []int32) []int32 {
+	rlo := bi * block
+	rhi := rlo + block
+	if rhi > tri.Rows {
+		rhi = tri.Rows
+	}
+	deps := dst
+	for i := rlo; i < rhi; i++ {
+		for p := tri.RowPtr[i]; p < tri.RowPtr[i+1]; p++ {
+			c := int(tri.ColIdx[p])
+			if upper {
+				if c <= i {
+					continue
+				}
+			} else if c >= i {
+				continue
+			}
+			j := int32(c / block)
+			if int(j) == bi {
+				continue
+			}
+			found := false
+			for _, d := range deps {
+				if d == j {
+					found = true
+					break
+				}
+			}
+			if !found {
+				deps = append(deps, j)
+			}
+		}
+	}
+	// Insertion sort: lists are short (bounded by block bandwidth) and the
+	// result must be deterministic.
+	for i := 1; i < len(deps); i++ {
+		for j := i; j > 0 && deps[j] < deps[j-1]; j-- {
+			deps[j], deps[j-1] = deps[j-1], deps[j]
+		}
+	}
+	return deps
 }
 
 func (b *builder) expandCopy(ci int32, c *program.Call) {

@@ -186,6 +186,20 @@ func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first bool,
 			}
 		}
 
+	case graph.TTrsv:
+		tri := st.TriM[c.A]
+		x := st.Vec[c.Out]
+		b := st.Vec[c.B]
+		lo := int(t.P) * p.Block
+		hi := lo + p.PartRows(int(t.P))
+		// Out and B are full-length width-1 vectors; the range forms read
+		// earlier/later entries of x that dependency-predecessor tasks wrote.
+		if c.Upper {
+			tri.UpperSolveRange(x, b, lo, hi)
+		} else {
+			tri.LowerSolveRange(x, b, lo, hi)
+		}
+
 	default:
 		panic(fmt.Sprintf("kernels: unknown task kind %v", t.Kind))
 	}

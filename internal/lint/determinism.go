@@ -16,6 +16,7 @@ var determinismScope = []string{
 	"internal/sparse",
 	"internal/program",
 	"internal/matgen",
+	"internal/precond",
 }
 
 // determinismRandAllowed are the explicitly-seeded constructors: a

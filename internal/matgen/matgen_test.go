@@ -198,3 +198,59 @@ func TestTargetRowsScaling(t *testing.T) {
 		t.Errorf("small matrix should clamp to MinRows, got %d", tiny.TargetRows(Tiny))
 	}
 }
+
+func TestSPDLaplacianStructure(t *testing.T) {
+	const n = 5000
+	a := SPDLaplacian(n, 3)
+	if a.Rows != n || a.Cols != n {
+		t.Fatalf("shape %dx%d, want %dx%d", a.Rows, a.Cols, n, n)
+	}
+	csr := a.ToCSR()
+	// Symmetric with a strictly dominant diagonal on every row — the
+	// certificate of positive definiteness the convergence tests rely on.
+	for i := 0; i < n; i++ {
+		var diag, off float64
+		for p := csr.RowPtr[i]; p < csr.RowPtr[i+1]; p++ {
+			j := int(csr.ColIdx[p])
+			v := csr.V[p]
+			if j == i {
+				diag = v
+			} else {
+				off += -v // off-diagonals are negative couplings
+				if v >= 0 {
+					t.Fatalf("row %d: off-diagonal (%d,%d)=%g not negative", i, i, j, v)
+				}
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d: diagonal %g not dominant over %g", i, diag, off)
+		}
+	}
+	if !a.IsSymmetric() {
+		t.Fatal("SPDLaplacian not symmetric")
+	}
+}
+
+func TestSPDLaplacianDeterministic(t *testing.T) {
+	a := SPDLaplacian(2000, 9)
+	b := SPDLaplacian(2000, 9)
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nnz differs: %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for k := range a.V {
+		if a.I[k] != b.I[k] || a.J[k] != b.J[k] || a.V[k] != b.V[k] {
+			t.Fatalf("entry %d differs between identical seeds", k)
+		}
+	}
+	c := SPDLaplacian(2000, 10)
+	same := true
+	for k := range a.V {
+		if k >= len(c.V) || a.V[k] != c.V[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}

@@ -1,0 +1,130 @@
+package precond
+
+import "sparsetask/internal/sparse"
+
+// Levels is the level-scheduling analysis of a triangular factor at row-block
+// granularity: block bi depends on every other block that owns a column its
+// rows reference, and its level is one past the deepest dependency. One level
+// is one rank of independent tasks; the graph package turns BlockDeps into
+// TDG edges so the substitution runs wavefront-parallel on the task runtimes.
+//
+// The analysis follows the ilu_solve level-scheduling exemplar, lifted from
+// single rows to row blocks so task granularity matches the rest of the
+// system (and so affinity stamps compose with the topology layer).
+type Levels struct {
+	Block     int       // rows per block (last block may be short)
+	NB        int       // number of row blocks
+	BlockDeps [][]int32 // per-block sorted list of prerequisite blocks (excl. self)
+	LevelOf   []int32   // per-block level, 0-based
+	NumLevels int
+	Widths    []int // blocks per level; len NumLevels
+}
+
+// AnalyzeLower computes the level structure of the forward solve with the
+// lower-triangular factor l: row i reads x[c] for stored columns c < i, so a
+// block depends on every earlier block owning such a column.
+func AnalyzeLower(l *sparse.CSR, block int) *Levels {
+	return analyze(l, block, false)
+}
+
+// AnalyzeUpper computes the level structure of the backward solve with the
+// upper-triangular factor u: row i reads x[c] for stored columns c > i, so a
+// block depends on every later block owning such a column.
+func AnalyzeUpper(u *sparse.CSR, block int) *Levels {
+	return analyze(u, block, true)
+}
+
+func analyze(a *sparse.CSR, block int, upper bool) *Levels {
+	n := a.Rows
+	nb := (n + block - 1) / block
+	lv := &Levels{
+		Block:     block,
+		NB:        nb,
+		BlockDeps: make([][]int32, nb),
+		LevelOf:   make([]int32, nb),
+	}
+	// mark[j] == bi+1 records that block j is already a dependency of bi,
+	// so each dependency is emitted once regardless of how many entries
+	// reference it.
+	mark := make([]int32, nb)
+	for bi := 0; bi < nb; bi++ {
+		rlo := bi * block
+		rhi := rlo + block
+		if rhi > n {
+			rhi = n
+		}
+		var deps []int32
+		for i := rlo; i < rhi; i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				c := int(a.ColIdx[p])
+				if upper {
+					if c <= i {
+						continue
+					}
+				} else if c >= i {
+					continue
+				}
+				j := int32(c / block)
+				if int(j) == bi || mark[j] == int32(bi)+1 {
+					continue
+				}
+				mark[j] = int32(bi) + 1
+				deps = append(deps, j)
+			}
+		}
+		sortInt32(deps)
+		lv.BlockDeps[bi] = deps
+	}
+	// Levels must be assigned in dependency order: ascending blocks for the
+	// forward solve, descending for the backward solve (whose deps point at
+	// later blocks).
+	for k := 0; k < nb; k++ {
+		bi := k
+		if upper {
+			bi = nb - 1 - k
+		}
+		level := int32(0)
+		for _, j := range lv.BlockDeps[bi] {
+			if d := lv.LevelOf[j] + 1; d > level {
+				level = d
+			}
+		}
+		lv.LevelOf[bi] = level
+		if int(level)+1 > lv.NumLevels {
+			lv.NumLevels = int(level) + 1
+		}
+	}
+	lv.Widths = make([]int, lv.NumLevels)
+	for _, l := range lv.LevelOf {
+		lv.Widths[l]++
+	}
+	return lv
+}
+
+// CriticalPath returns the number of levels — the length of the longest
+// dependency chain and hence the lower bound on wavefronts regardless of
+// worker count.
+func (lv *Levels) CriticalPath() int { return lv.NumLevels }
+
+// MaxWidth returns the widest level: the peak parallelism the schedule
+// exposes.
+func (lv *Levels) MaxWidth() int {
+	m := 0
+	for _, w := range lv.Widths {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// sortInt32 is an insertion sort: dependency lists are short (bounded by the
+// factor's row bandwidth in blocks), and avoiding sort.Slice keeps the
+// analysis allocation-light and trivially deterministic.
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package precond
+
+import (
+	"testing"
+
+	"sparsetask/internal/sparse"
+)
+
+// TestAnalyzeLowerBidiagonal: a bidiagonal lower factor at block=1 is a pure
+// chain — every block depends on the previous one, so there are n levels of
+// width 1.
+func TestAnalyzeLowerBidiagonal(t *testing.T) {
+	n := 6
+	coo := sparse.NewCOO(n, n, 2*n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			coo.Append(int32(i), int32(i-1), -1)
+		}
+		coo.Append(int32(i), int32(i), 2)
+	}
+	l := coo.ToCSR()
+	lv := AnalyzeLower(l, 1)
+	if lv.NumLevels != n {
+		t.Fatalf("NumLevels = %d, want %d", lv.NumLevels, n)
+	}
+	for bi := 0; bi < n; bi++ {
+		if int(lv.LevelOf[bi]) != bi {
+			t.Fatalf("LevelOf[%d] = %d, want %d", bi, lv.LevelOf[bi], bi)
+		}
+	}
+	if lv.MaxWidth() != 1 || lv.CriticalPath() != n {
+		t.Fatalf("MaxWidth=%d CriticalPath=%d, want 1 and %d", lv.MaxWidth(), lv.CriticalPath(), n)
+	}
+	// Block 3 depends exactly on block 2.
+	if len(lv.BlockDeps[3]) != 1 || lv.BlockDeps[3][0] != 2 {
+		t.Fatalf("BlockDeps[3] = %v, want [2]", lv.BlockDeps[3])
+	}
+}
+
+// TestAnalyzeDiagonalIsOneLevel: a diagonal factor has no cross-block deps —
+// every block sits at level 0 regardless of direction.
+func TestAnalyzeDiagonalIsOneLevel(t *testing.T) {
+	n := 10
+	coo := sparse.NewCOO(n, n, n)
+	for i := 0; i < n; i++ {
+		coo.Append(int32(i), int32(i), 1)
+	}
+	d := coo.ToCSR()
+	for _, lv := range []*Levels{AnalyzeLower(d, 3), AnalyzeUpper(d, 3)} {
+		if lv.NumLevels != 1 {
+			t.Fatalf("NumLevels = %d, want 1", lv.NumLevels)
+		}
+		if lv.Widths[0] != lv.NB {
+			t.Fatalf("Widths[0] = %d, want %d", lv.Widths[0], lv.NB)
+		}
+	}
+}
+
+// TestAnalyzeUpperMirrorsLower: the backward solve on Lᵀ must have the same
+// level count as the forward solve on L (the DAGs are reverses of each
+// other), with block dependencies pointing at later blocks.
+func TestAnalyzeUpperMirrorsLower(t *testing.T) {
+	a := laplacian2D(8)
+	m, err := Factorize(a)
+	if err != nil || m.Kind != KindIC0 {
+		t.Fatalf("factorize: %v kind=%v", err, m.Kind)
+	}
+	const block = 4
+	low := AnalyzeLower(m.L, block)
+	up := AnalyzeUpper(m.U, block)
+	if low.NumLevels != up.NumLevels {
+		t.Fatalf("lower has %d levels, upper %d", low.NumLevels, up.NumLevels)
+	}
+	for bi := 0; bi < up.NB; bi++ {
+		for _, j := range up.BlockDeps[bi] {
+			if int(j) <= bi {
+				t.Fatalf("upper block %d depends on earlier block %d", bi, j)
+			}
+		}
+		for _, j := range low.BlockDeps[bi] {
+			if int(j) >= bi {
+				t.Fatalf("lower block %d depends on later block %d", bi, j)
+			}
+		}
+	}
+	// Widths must sum to the block count in both directions.
+	for _, lv := range []*Levels{low, up} {
+		sum := 0
+		for _, w := range lv.Widths {
+			sum += w
+		}
+		if sum != lv.NB {
+			t.Fatalf("level widths sum to %d, want %d blocks", sum, lv.NB)
+		}
+	}
+}
+
+// TestAnalyzeDepsRespectLevels: every dependency must sit at a strictly
+// lower level than its dependent — the invariant that makes one level one
+// rank of independent tasks.
+func TestAnalyzeDepsRespectLevels(t *testing.T) {
+	a := laplacian2D(11)
+	m, err := Factorize(a)
+	if err != nil || m.Kind != KindIC0 {
+		t.Fatalf("factorize: %v kind=%v", err, m.Kind)
+	}
+	for _, tc := range []struct {
+		name string
+		lv   *Levels
+	}{
+		{"lower", AnalyzeLower(m.L, 5)},
+		{"upper", AnalyzeUpper(m.U, 5)},
+	} {
+		for bi := 0; bi < tc.lv.NB; bi++ {
+			for _, j := range tc.lv.BlockDeps[bi] {
+				if tc.lv.LevelOf[j] >= tc.lv.LevelOf[bi] {
+					t.Fatalf("%s: block %d (level %d) depends on block %d (level %d)",
+						tc.name, bi, tc.lv.LevelOf[bi], j, tc.lv.LevelOf[j])
+				}
+			}
+		}
+	}
+}

@@ -32,6 +32,10 @@ const (
 	OpSmall
 	// OpScalar is a single float64 (norms, dot products, shifts).
 	OpScalar
+	// OpTri is a triangular factor stored as CSR (the L or U = Lᵀ of an
+	// incomplete Cholesky), 1D-partitioned into row blocks like OpVec. It is
+	// read-only to programs: only CSpTrsv consumes it.
+	OpTri
 )
 
 func (k OpKind) String() string {
@@ -44,6 +48,8 @@ func (k OpKind) String() string {
 		return "small"
 	case OpScalar:
 		return "scalar"
+	case OpTri:
+		return "tri"
 	}
 	return fmt.Sprintf("OpKind(%d)", uint8(k))
 }
@@ -92,6 +98,12 @@ const (
 	// (e.g. the inverse diagonal of the matrix): the Jacobi preconditioner
 	// application kernel. One task per row block.
 	CDiagScale
+	// CSpTrsv: solve the triangular system A·Out = B where A is OpTri and
+	// B, Out are width-1 vecs: forward substitution when Upper is false,
+	// backward when true. Expands into one task per row block whose
+	// dependencies follow the factor's level structure — the irregular DAG
+	// the level-scheduled incomplete-Cholesky literature targets.
+	CSpTrsv
 )
 
 func (k CallKind) String() string {
@@ -114,6 +126,8 @@ func (k CallKind) String() string {
 		return "COPY"
 	case CDiagScale:
 		return "DSCALE"
+	case CSpTrsv:
+		return "TRSV"
 	}
 	return fmt.Sprintf("CallKind(%d)", uint8(k))
 }
@@ -131,6 +145,7 @@ type Call struct {
 	S           OperandID // scalar input of CScaleInv
 	Alpha, Beta float64
 	Sqrt        bool // CDot: store sqrt of the accumulated sum
+	Upper       bool // CSpTrsv: backward (upper-triangular) substitution
 	Fn          SmallFn
 	Ins         []OperandID // CSmall extra inputs
 	Outs        []OperandID // CSmall extra outputs (Out is Outs[0] by convention)
@@ -181,6 +196,11 @@ func (p *Program) Vec(name string, n int) OperandID {
 		panic("program: Vec width must be positive")
 	}
 	return p.addOp(name, OpVec, p.M, n)
+}
+
+// Tri declares a triangular-factor operand (square, M×M, CSR-backed).
+func (p *Program) Tri(name string) OperandID {
+	return p.addOp(name, OpTri, p.M, p.M)
 }
 
 // Small declares an r×c small dense operand.
@@ -350,6 +370,32 @@ func (p *Program) DiagScale(out, d, a OperandID) *Program {
 		panic("program: DiagScale width mismatch")
 	}
 	p.Calls = append(p.Calls, Call{Kind: CDiagScale, Name: "DSCALE", Out: out, A: a, B: d})
+	return p
+}
+
+// SpTrsvLower appends a forward substitution solving L·Out = B, where l is
+// an OpTri lower factor and B, Out are width-1 vecs.
+func (p *Program) SpTrsvLower(out, l, b OperandID) *Program {
+	return p.spTrsv(out, l, b, false)
+}
+
+// SpTrsvUpper appends a backward substitution solving U·Out = B, where u is
+// an OpTri upper factor and B, Out are width-1 vecs.
+func (p *Program) SpTrsvUpper(out, u, b OperandID) *Program {
+	return p.spTrsv(out, u, b, true)
+}
+
+func (p *Program) spTrsv(out, tri, b OperandID, upper bool) *Program {
+	p.check(tri, OpTri, "SpTrsv")
+	ob := p.check(b, OpVec, "SpTrsv")
+	oo := p.check(out, OpVec, "SpTrsv")
+	if ob.Cols != 1 || oo.Cols != 1 {
+		panic("program: SpTrsv operands must be width-1 vecs")
+	}
+	if out == b {
+		panic("program: SpTrsv output must not alias its right-hand side")
+	}
+	p.Calls = append(p.Calls, Call{Kind: CSpTrsv, Name: "TRSV", Out: out, A: tri, B: b, Upper: upper})
 	return p
 }
 

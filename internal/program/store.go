@@ -15,6 +15,9 @@ import (
 type Store struct {
 	P       *Program
 	SparseM map[OperandID]*sparse.CSB
+	// TriM holds the CSR triangular factors behind OpTri operands. Like
+	// SparseM it is populated before execution and read-only afterwards.
+	TriM map[OperandID]*sparse.CSR
 	// Vec, Small and Scalars are indexed by OperandID; entries for operands
 	// of other kinds are nil/unused.
 	Vec     [][]float64
@@ -34,6 +37,7 @@ func NewStore(p *Program) *Store {
 	st := &Store{
 		P:        p,
 		SparseM:  make(map[OperandID]*sparse.CSB),
+		TriM:     make(map[OperandID]*sparse.CSR),
 		Vec:      make([][]float64, len(p.Ops)),
 		Small:    make([][]float64, len(p.Ops)),
 		Scalars:  make([]float64, len(p.Ops)),
@@ -92,6 +96,20 @@ func (st *Store) SetSparse(id OperandID, a *sparse.CSB) {
 		panic(fmt.Sprintf("program: CSB rows %d != program rows %d", a.Rows, st.P.M))
 	}
 	st.SparseM[id] = a
+}
+
+// SetTri attaches the CSR factor for a triangular operand. The factor must
+// be square with the program's row dimension; row-block boundaries come from
+// the program block size.
+func (st *Store) SetTri(id OperandID, a *sparse.CSR) {
+	o := st.P.Op(id)
+	if o.Kind != OpTri {
+		panic(fmt.Sprintf("program: SetTri on %s operand %s", o.Kind, o.Name))
+	}
+	if a.Rows != st.P.M || a.Cols != st.P.M {
+		panic(fmt.Sprintf("program: factor is %dx%d, program rows %d", a.Rows, a.Cols, st.P.M))
+	}
+	st.TriM[id] = a
 }
 
 // VecPart returns the slice of vec operand id covering row partition part.

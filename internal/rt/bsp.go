@@ -46,8 +46,18 @@ func buildBSPPlan(g *graph.TDG) []bspCallPlan {
 		byCall[c] = append(byCall[c], g.Tasks[i].ID)
 	}
 	var plan []bspCallPlan
-	for _, ids := range byCall {
+	for ci, ids := range byCall {
 		if len(ids) == 0 {
+			continue
+		}
+		if g.Prog.Calls[ci].Kind == program.CSpTrsv {
+			// Triangular solves carry dependencies *within* the call: block
+			// chains are not independent, so the flat chains-plus-barrier
+			// shape would race. Split the call into its dependency levels and
+			// barrier between them — the classic OpenMP level-scheduled
+			// solve, and the BSP cost model the paper's baselines imply:
+			// one full barrier per wavefront.
+			plan = append(plan, bspTrsvLevels(g, ids)...)
 			continue
 		}
 		// Partition the call's tasks into per-row chains plus serial tasks,
@@ -75,6 +85,36 @@ func buildBSPPlan(g *graph.TDG) []bspCallPlan {
 		plan = append(plan, cp)
 	}
 	return plan
+}
+
+// bspTrsvLevels groups one CSpTrsv call's tasks by intra-call dependency
+// depth and returns one plan phase per level, each holding single-task
+// chains. Depth only counts same-call predecessors, so the phase before the
+// solve still ends at the ordinary inter-call barrier.
+func bspTrsvLevels(g *graph.TDG, ids []int32) []bspCallPlan {
+	depth := make(map[int32]int32, len(ids))
+	maxDepth := int32(0)
+	call := g.Tasks[ids[0]].Call
+	for _, id := range ids { // ids ascend, deps point backwards
+		d := int32(0)
+		for _, dep := range g.Tasks[id].Deps {
+			if g.Tasks[dep].Call == call {
+				if dd := depth[dep] + 1; dd > d {
+					d = dd
+				}
+			}
+		}
+		depth[id] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([]bspCallPlan, maxDepth+1)
+	for _, id := range ids {
+		l := &levels[depth[id]]
+		l.chains = append(l.chains, []int32{id})
+	}
+	return levels
 }
 
 // bspPrepared executes a prebuilt plan. With one worker the chains run

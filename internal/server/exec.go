@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sparsetask/internal/autotune"
+	"sparsetask/internal/precond"
 	"sparsetask/internal/rt"
 	"sparsetask/internal/solver"
 	"sparsetask/internal/sparse"
@@ -184,6 +185,29 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		res.Iterations = iters
 		res.Residual = relres
 		res.Converged = true
+	case "pcg":
+		f, source, err := s.resolveFactors(coo)
+		if err != nil {
+			return nil, err
+		}
+		low, up, analysed := f.LevelsFor(csb.Block)
+		if analysed {
+			s.metrics.LevelAnalyses.Add(1)
+		}
+		c, err := solver.NewPCGWithLevels(csb, f.M, low, up)
+		if err != nil {
+			return nil, err
+		}
+		b := solver.RandomRHS(csb.Rows, seed)
+		_, relres, iters, err := c.Solve(ctx, rtm, b)
+		if err != nil {
+			return nil, fmt.Errorf("pcg after %d iterations (relres %.3e): %w", iters, relres, err)
+		}
+		res.Iterations = iters
+		res.Residual = relres
+		res.Converged = true
+		res.Precond = f.M.Kind.String()
+		res.FactorSource = source
 	default:
 		return nil, fmt.Errorf("unknown solver %q", spec.Solver)
 	}
@@ -240,7 +264,7 @@ func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, workers int) (Plan, 
 		return p, "cache", nil
 	}
 
-	sv := autotune.Lanczos // cg shares Lanczos's SpMV-dominated kernel mix
+	sv := autotune.Lanczos // cg and pcg share Lanczos's SpMV-dominated kernel mix
 	if spec.Solver == "lobpcg" {
 		sv = autotune.LOBPCG
 	}
@@ -254,4 +278,25 @@ func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, workers int) (Plan, 
 	p := Plan{Block: res.Block, BlockCount: res.BlockCount, Bin: res.Bin}
 	s.plans.Put(key, p)
 	return p, "autotune", nil
+}
+
+// resolveFactors returns the preconditioner for a pcg job: a factor-cache hit
+// under the matrix's structural fingerprint, or a fresh IC(0) factorization
+// (Jacobi on breakdown) that is then cached. Unlike the plan key, the factor
+// key is the fingerprint alone — the factors depend only on the matrix, so
+// they are shared across backends, worker counts, and tilings.
+func (s *Server) resolveFactors(coo *sparse.COO) (*Factorization, string, error) {
+	csr := coo.ToCSR()
+	fp := sparse.ComputeStats(csr).Fingerprint()
+	if f, ok := s.factors.Get(fp); ok {
+		return f, "cache", nil
+	}
+	s.metrics.Factorizations.Add(1)
+	m, err := precond.Factorize(csr)
+	if err != nil {
+		return nil, "", fmt.Errorf("ic0: %w", err)
+	}
+	f := NewFactorization(m)
+	s.factors.Put(fp, f)
+	return f, "computed", nil
 }

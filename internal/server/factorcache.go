@@ -1,0 +1,129 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"sparsetask/internal/precond"
+)
+
+// Factorization is one cached preconditioner: the IC(0) factors (or the
+// Jacobi fallback) plus the memoized triangular level analyses, keyed by the
+// CSB block size the solve tiled with. Factors depend only on the matrix, but
+// the level DAG's row-block granularity follows the tiling plan — and the
+// plan varies with backend, worker count, and topology — so one factorization
+// can serve several block sizes, each analysed once.
+type Factorization struct {
+	M *precond.IC0
+
+	mu     sync.Mutex
+	levels map[int]levelPair // CSB block size → forward/backward analyses
+}
+
+type levelPair struct {
+	lower, upper *precond.Levels
+}
+
+// NewFactorization wraps a freshly computed preconditioner for caching.
+func NewFactorization(m *precond.IC0) *Factorization {
+	return &Factorization{M: m, levels: make(map[int]levelPair)}
+}
+
+// LevelsFor returns the level analyses for the factors at the given block
+// size, computing and memoizing them on first use. The boolean reports
+// whether this call ran the analysis (false = memoized or Jacobi, which has
+// no triangular structure to analyse).
+func (f *Factorization) LevelsFor(block int) (lower, upper *precond.Levels, analysed bool) {
+	if f.M.Kind != precond.KindIC0 {
+		return nil, nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if lp, ok := f.levels[block]; ok {
+		return lp.lower, lp.upper, false
+	}
+	lp := levelPair{
+		lower: precond.AnalyzeLower(f.M.L, block),
+		upper: precond.AnalyzeUpper(f.M.U, block),
+	}
+	f.levels[block] = lp
+	return lp.lower, lp.upper, true
+}
+
+// FactorCache is a fixed-capacity LRU of preconditioner factorizations keyed
+// by the matrix's structural fingerprint. IC(0) is the expensive, reusable
+// part of a pcg job — it depends only on the matrix, not on the backend or
+// tiling — so repeat traffic for the same matrix skips both the numeric
+// factorization and (via Factorization.LevelsFor) the level analysis.
+type FactorCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[uint64]*list.Element
+
+	hits, misses, evictions atomic.Int64
+}
+
+type factorEntry struct {
+	fp uint64
+	f  *Factorization
+}
+
+// NewFactorCache returns an LRU holding up to capacity factorizations
+// (minimum 1).
+func NewFactorCache(capacity int) *FactorCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FactorCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[uint64]*list.Element),
+	}
+}
+
+// Get returns the cached factorization for a matrix fingerprint, updating
+// recency and hit/miss counters.
+func (c *FactorCache) Get(fp uint64) (*Factorization, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*factorEntry).f, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put inserts or refreshes a factorization, evicting the least recently used
+// entry when over capacity.
+func (c *FactorCache) Put(fp uint64, f *Factorization) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		el.Value.(*factorEntry).f = f
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[fp] = c.ll.PushFront(&factorEntry{fp: fp, f: f})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*factorEntry).fp)
+		c.evictions.Add(1)
+	}
+}
+
+// Len reports the current entry count.
+func (c *FactorCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports cumulative hits, misses, and evictions.
+func (c *FactorCache) Stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

@@ -54,7 +54,7 @@ type MatrixSpec struct {
 
 // JobSpec is the POST /jobs request body.
 type JobSpec struct {
-	// Solver is one of lanczos, lobpcg, cg.
+	// Solver is one of lanczos, lobpcg, cg, pcg.
 	Solver string `json:"solver"`
 	// Backend is one of bsp, deepsparse, hpx, regent.
 	Backend string     `json:"backend"`
@@ -82,9 +82,9 @@ type JobSpec struct {
 // Validate rejects malformed specs before they enter the queue.
 func (s *JobSpec) Validate() error {
 	switch s.Solver {
-	case "lanczos", "lobpcg", "cg":
+	case "lanczos", "lobpcg", "cg", "pcg":
 	default:
-		return fmt.Errorf("solver must be lanczos, lobpcg, or cg, got %q", s.Solver)
+		return fmt.Errorf("solver must be lanczos, lobpcg, cg, or pcg, got %q", s.Solver)
 	}
 	switch s.Backend {
 	case "bsp", "deepsparse", "hpx", "regent":
@@ -154,6 +154,12 @@ type JobResult struct {
 	// block in the spec), "cache" (plan-cache hit), "autotune" (fresh
 	// six-trial sweep), or "fallback" (matrix too small to tune).
 	PlanSource string `json:"plan_source"`
+	// Precond names the preconditioner a pcg job actually applied: "ic0",
+	// or "jacobi" when the factorization hit a non-positive pivot.
+	Precond string `json:"precond,omitempty"`
+	// FactorSource records where a pcg job's factorization came from:
+	// "cache" (factor-cache hit, levels memoized too) or "computed".
+	FactorSource string `json:"factor_source,omitempty"`
 }
 
 // Job is one tracked solve. All mutable fields are guarded by mu.

@@ -94,6 +94,9 @@ type Metrics struct {
 	PlanMisses     atomic.Int64
 	AutotuneSweeps atomic.Int64 // six-trial block-size searches actually run
 
+	Factorizations atomic.Int64 // IC(0) factorizations actually run (pcg misses)
+	LevelAnalyses  atomic.Int64 // triangular level analyses actually run
+
 	QueueWait Histogram // submit → execution start
 	PlanStage Histogram // matrix build + fingerprint + plan lookup/tune
 	Solve     Histogram // solver execution proper
@@ -123,6 +126,18 @@ type MetricsSnapshot struct {
 		Capacity       int   `json:"capacity"`
 		AutotuneSweeps int64 `json:"autotune_sweeps"`
 	} `json:"plan_cache"`
+	FactorCache struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Size      int   `json:"size"`
+		Capacity  int   `json:"capacity"`
+		// Factorizations counts IC(0) numeric factorizations actually run;
+		// LevelAnalyses counts triangular level analyses actually run. Both
+		// stay flat on repeat traffic for a cached matrix.
+		Factorizations int64 `json:"factorizations"`
+		LevelAnalyses  int64 `json:"level_analyses"`
+	} `json:"factor_cache"`
 	Latency struct {
 		QueueWait HistogramSnapshot `json:"queue_wait"`
 		Plan      HistogramSnapshot `json:"plan"`

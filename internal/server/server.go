@@ -26,6 +26,10 @@ type Config struct {
 	RTWorkers int
 	// PlanCacheSize bounds the autotune plan LRU. Default 128.
 	PlanCacheSize int
+	// FactorCacheSize bounds the pcg preconditioner-factorization LRU.
+	// Default 32 (factors hold two CSR copies of the matrix's lower
+	// triangle, so the default is deliberately smaller than the plan cache).
+	FactorCacheSize int
 	// Topo names the machine-topology profile every backend runtime is built
 	// with ("flat", "auto", "broadwell", "epyc"). Unknown or empty names fall
 	// back to flat; cmd/solverd validates the flag before it gets here. The
@@ -43,6 +47,9 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize <= 0 {
 		c.PlanCacheSize = 128
 	}
+	if c.FactorCacheSize <= 0 {
+		c.FactorCacheSize = 32
+	}
 	return c
 }
 
@@ -53,6 +60,7 @@ type Server struct {
 	topo    topo.Topology
 	metrics *Metrics
 	plans   *PlanCache
+	factors *FactorCache
 	queue   chan *Job
 
 	mu       sync.Mutex
@@ -81,6 +89,7 @@ func New(cfg Config) *Server {
 		topo:       tp,
 		metrics:    &Metrics{},
 		plans:      NewPlanCache(cfg.PlanCacheSize),
+		factors:    NewFactorCache(cfg.FactorCacheSize),
 		queue:      make(chan *Job, cfg.QueueSize),
 		jobs:       make(map[string]*Job),
 		baseCtx:    ctx,
@@ -286,6 +295,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.PlanCache.Size = s.plans.Len()
 	snap.PlanCache.Capacity = s.cfg.PlanCacheSize
 	snap.PlanCache.AutotuneSweeps = m.AutotuneSweeps.Load()
+
+	fhits, fmisses, fevictions := s.factors.Stats()
+	snap.FactorCache.Hits = fhits
+	snap.FactorCache.Misses = fmisses
+	snap.FactorCache.Evictions = fevictions
+	snap.FactorCache.Size = s.factors.Len()
+	snap.FactorCache.Capacity = s.cfg.FactorCacheSize
+	snap.FactorCache.Factorizations = m.Factorizations.Load()
+	snap.FactorCache.LevelAnalyses = m.LevelAnalyses.Load()
 
 	snap.Latency.QueueWait = m.QueueWait.Snapshot()
 	snap.Latency.Plan = m.PlanStage.Snapshot()

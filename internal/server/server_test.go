@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"sparsetask/internal/precond"
 )
 
 // diag4 is a 4x4 diagonal matrix with spectrum {1, 2, 3, 4}: small enough to
@@ -115,12 +117,31 @@ func getMetrics(t *testing.T, ts *httptest.Server) MetricsSnapshot {
 }
 
 func mmSpec(solver, backend string, extra string) string {
-	mm, _ := json.Marshal(diag4)
-	s := fmt.Sprintf(`{"solver":%q,"backend":%q,"matrix":{"mm":%s}`, solver, backend, mm)
+	return mmSpecFor(diag4, solver, backend, extra)
+}
+
+func mmSpecFor(mm, solver, backend string, extra string) string {
+	doc, _ := json.Marshal(mm)
+	s := fmt.Sprintf(`{"solver":%q,"backend":%q,"matrix":{"mm":%s}`, solver, backend, doc)
 	if extra != "" {
 		s += "," + extra
 	}
 	return s + "}"
+}
+
+// spdTridiagMM renders the n×n tridiagonal [-1 4 -1] matrix — SPD, so IC(0)
+// succeeds and pcg exercises the triangular level path end to end.
+func spdTridiagMM(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", n, n, 3*n-2)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "%d %d 4.0\n", i, i)
+		if i < n {
+			fmt.Fprintf(&b, "%d %d -1.0\n", i, i+1)
+			fmt.Fprintf(&b, "%d %d -1.0\n", i+1, i)
+		}
+	}
+	return b.String()
 }
 
 func TestJobLifecycleEigenvalues(t *testing.T) {
@@ -322,10 +343,78 @@ func TestPlanCacheHitSkipsAutotune(t *testing.T) {
 	}
 }
 
+// TestPCGFactorCacheReuse is the serving-layer acceptance test for the
+// preconditioner cache: the first pcg job against a matrix factorizes and
+// analyses levels; a repeat job with the same structural fingerprint reuses
+// both; a repeat at a different tiling reuses the factors but analyses the
+// new block size once.
+func TestPCGFactorCacheReuse(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, RTWorkers: 2})
+	mm := spdTridiagMM(24)
+	runJob := func(extra string) JobView {
+		t.Helper()
+		v, status := postJob(t, ts, mmSpecFor(mm, "pcg", "deepsparse", extra))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit status = %d, want 202", status)
+		}
+		fin, _ := waitState(t, ts, v.ID, StateDone, 30*time.Second)
+		if fin.State != StateDone {
+			t.Fatalf("job state = %s (err %q), want done", fin.State, fin.Error)
+		}
+		return fin
+	}
+
+	first := runJob(`"block":8`)
+	if first.Result.Precond != "ic0" {
+		t.Fatalf("precond = %q, want ic0 (SPD matrix must factorize)", first.Result.Precond)
+	}
+	if first.Result.FactorSource != "computed" {
+		t.Fatalf("first factor_source = %q, want computed", first.Result.FactorSource)
+	}
+	if !first.Result.Converged || first.Result.Iterations < 1 {
+		t.Fatalf("first job did not converge: %+v", first.Result)
+	}
+
+	second := runJob(`"block":8`)
+	if second.Result.FactorSource != "cache" {
+		t.Errorf("repeat factor_source = %q, want cache", second.Result.FactorSource)
+	}
+	if second.Result.Iterations != first.Result.Iterations {
+		t.Errorf("cached factors changed convergence: %d vs %d iterations",
+			second.Result.Iterations, first.Result.Iterations)
+	}
+	m := getMetrics(t, ts)
+	if m.FactorCache.Factorizations != 1 {
+		t.Errorf("factorizations = %d, want 1 (repeat job must reuse the factors)",
+			m.FactorCache.Factorizations)
+	}
+	if m.FactorCache.LevelAnalyses != 1 {
+		t.Errorf("level_analyses = %d, want 1 (repeat job must reuse the levels)",
+			m.FactorCache.LevelAnalyses)
+	}
+	if m.FactorCache.Hits != 1 || m.FactorCache.Misses != 1 || m.FactorCache.Size != 1 {
+		t.Errorf("factor cache hits/misses/size = %d/%d/%d, want 1/1/1",
+			m.FactorCache.Hits, m.FactorCache.Misses, m.FactorCache.Size)
+	}
+
+	// A different tiling shares the factors but needs its own level analysis.
+	third := runJob(`"block":4`)
+	if third.Result.FactorSource != "cache" {
+		t.Errorf("retiled factor_source = %q, want cache", third.Result.FactorSource)
+	}
+	m = getMetrics(t, ts)
+	if m.FactorCache.Factorizations != 1 {
+		t.Errorf("factorizations after retile = %d, want still 1", m.FactorCache.Factorizations)
+	}
+	if m.FactorCache.LevelAnalyses != 2 {
+		t.Errorf("level_analyses after retile = %d, want 2", m.FactorCache.LevelAnalyses)
+	}
+}
+
 func TestAllSolversAndBackends(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2, RTWorkers: 2})
 	var ids []string
-	for _, solver := range []string{"lanczos", "lobpcg", "cg"} {
+	for _, solver := range []string{"lanczos", "lobpcg", "cg", "pcg"} {
 		for _, backend := range []string{"bsp", "deepsparse", "hpx", "regent"} {
 			extra := ""
 			if solver == "lobpcg" {
@@ -343,8 +432,8 @@ func TestAllSolversAndBackends(t *testing.T) {
 			t.Errorf("job %s (%s/%s): state %s, err %q", id, v.Solver, v.Backend, v.State, v.Error)
 		}
 	}
-	if m := getMetrics(t, ts); m.Jobs.Done != 12 {
-		t.Errorf("done = %d, want 12", m.Jobs.Done)
+	if m := getMetrics(t, ts); m.Jobs.Done != 16 {
+		t.Errorf("done = %d, want 16", m.Jobs.Done)
 	}
 }
 
@@ -483,6 +572,40 @@ func TestPlanCacheLRU(t *testing.T) {
 	c.Put(k(1), Plan{Block: 11}) // refresh in place
 	if p, _ := c.Get(k(1)); p.Block != 11 {
 		t.Errorf("refreshed plan block = %d, want 11", p.Block)
+	}
+}
+
+func TestFactorCacheLRU(t *testing.T) {
+	c := NewFactorCache(2)
+	f := func() *Factorization { return NewFactorization(&precond.IC0{Kind: precond.KindJacobi}) }
+	c.Put(1, f())
+	c.Put(2, f())
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("Get(1) missed")
+	}
+	c.Put(3, f()) // evicts 2 (1 was refreshed by the Get)
+	if _, ok := c.Get(2); ok {
+		t.Error("fingerprint 2 survived eviction; LRU order is wrong")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Error("fingerprint 1 evicted despite being most recently used")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 2 || misses != 1 || evictions != 1 {
+		t.Errorf("stats = %d/%d/%d, want 2/1/1", hits, misses, evictions)
+	}
+}
+
+// A Jacobi factorization has no triangular structure: LevelsFor must return
+// nils without counting an analysis, at any block size.
+func TestFactorizationJacobiHasNoLevels(t *testing.T) {
+	f := NewFactorization(&precond.IC0{Kind: precond.KindJacobi, Rows: 4, DiagInv: []float64{1, 1, 1, 1}})
+	low, up, analysed := f.LevelsFor(2)
+	if low != nil || up != nil || analysed {
+		t.Fatalf("Jacobi LevelsFor = %v/%v/%v, want nil/nil/false", low, up, analysed)
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"testing"
 
+	"sparsetask/internal/precond"
 	"sparsetask/internal/rt"
+	"sparsetask/internal/sparse"
 )
 
 // These are the allocation-regression gates for the zero-allocation solver
@@ -142,4 +144,45 @@ func TestBSPPreparedSteadyIterationAllocs(t *testing.T) {
 	if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
 		t.Fatalf("steady-state BSP-prepared iteration allocates %.0f times, want 0", allocs)
 	}
+}
+
+// PCG adds the level-scheduled triangular solves to the iteration; they must
+// be allocation-free too (range-form substitution over preallocated factors).
+func TestPCGSteadyIterationAllocs(t *testing.T) {
+	coo := laplacian1D(600)
+	m, err := precondFactorize(t, coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := coo.ToCSB(64)
+	b := RandomRHS(600, 3)
+	for _, tc := range allocWorkerCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewPCG(a, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.initState(b)
+			pr := rt.PrepareRun(rt.NewDeepSparse(rt.Options{Workers: tc.workers}), c.g, c.st)
+			defer pr.Close()
+			ctx := context.Background()
+			step := func() {
+				if _, err := c.iterate(ctx, pr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 8; i++ {
+				step()
+			}
+			if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
+				t.Fatalf("steady-state PCG iteration allocates %.0f times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// precondFactorize is a tiny helper keeping the alloc test's imports local.
+func precondFactorize(t *testing.T, coo *sparse.COO) (*precond.IC0, error) {
+	t.Helper()
+	return precond.Factorize(coo.ToCSR())
 }

@@ -1,0 +1,137 @@
+package sparse
+
+import "fmt"
+
+// Triangular-solve kernels over CSR factors. These are the row-range bodies
+// of the level-scheduled TRSV tasks (package graph expands one task per row
+// block; package kernels calls the range forms) plus the whole-matrix serial
+// references the parallel paths are validated against.
+//
+// Both forms assume the factor stores its diagonal explicitly: every row i
+// must contain an entry with column i. Rows are scanned in CSR order, so the
+// floating-point accumulation order is a pure function of the factor — the
+// property the cross-topology determinism tests pin down.
+
+// LowerSolveRange performs forward substitution for rows [lo, hi) of the
+// lower-triangular system L·x = b: x[i] = (b[i] − Σ_{j<i} L(i,j)·x[j]) / L(i,i).
+// x and b are full-length vectors; entries x[j] for j < lo must already hold
+// the solution of earlier rows (the level schedule guarantees this via task
+// dependencies). x and b may alias only when x == b.
+//
+// sparselint:hotpath
+func (a *CSR) LowerSolveRange(x, b []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := b[i]
+		d := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			c := int(a.ColIdx[p])
+			if c == i {
+				d = a.V[p]
+			} else if c < i {
+				s -= a.V[p] * x[c]
+			}
+		}
+		x[i] = s / d
+	}
+}
+
+// UpperSolveRange performs backward substitution for rows [lo, hi) of the
+// upper-triangular system U·x = b: x[i] = (b[i] − Σ_{j>i} U(i,j)·x[j]) / U(i,i).
+// Rows are processed in descending order; entries x[j] for j >= hi must
+// already hold the solution of later rows.
+//
+// sparselint:hotpath
+func (a *CSR) UpperSolveRange(x, b []float64, lo, hi int) {
+	for i := hi - 1; i >= lo; i-- {
+		s := b[i]
+		d := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			c := int(a.ColIdx[p])
+			if c == i {
+				d = a.V[p]
+			} else if c > i {
+				s -= a.V[p] * x[c]
+			}
+		}
+		x[i] = s / d
+	}
+}
+
+// LowerSolve is the whole-matrix serial forward substitution reference.
+func (a *CSR) LowerSolve(x, b []float64) {
+	if len(x) != a.Rows || len(b) != a.Rows {
+		panic(fmt.Sprintf("sparse: LowerSolve shape mismatch: A is %dx%d, x %d, b %d", a.Rows, a.Cols, len(x), len(b)))
+	}
+	a.LowerSolveRange(x, b, 0, a.Rows)
+}
+
+// UpperSolve is the whole-matrix serial backward substitution reference.
+func (a *CSR) UpperSolve(x, b []float64) {
+	if len(x) != a.Rows || len(b) != a.Rows {
+		panic(fmt.Sprintf("sparse: UpperSolve shape mismatch: A is %dx%d, x %d, b %d", a.Rows, a.Cols, len(x), len(b)))
+	}
+	a.UpperSolveRange(x, b, 0, a.Rows)
+}
+
+// Transpose returns Aᵀ in CSR with every row's columns in ascending order —
+// the transform that turns a lower-triangular Cholesky factor L into the
+// upper-triangular U = Lᵀ the backward solve consumes.
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   a.Cols,
+		Cols:   a.Rows,
+		RowPtr: make([]int64, a.Cols+1),
+		ColIdx: make([]int32, a.NNZ()),
+		V:      make([]float64, a.NNZ()),
+	}
+	for _, c := range a.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for r := 0; r < t.Rows; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	next := make([]int64, t.Rows)
+	copy(next, t.RowPtr[:t.Rows])
+	// Walking A's rows in ascending order writes each transposed row's
+	// columns in ascending order, so no per-row sort is needed.
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			c := a.ColIdx[p]
+			q := next[c]
+			next[c]++
+			t.ColIdx[q] = int32(i)
+			t.V[q] = a.V[p]
+		}
+	}
+	return t
+}
+
+// LowerTriangle extracts the lower triangle of a (including the diagonal) as
+// a new CSR, preserving per-row column order.
+func (a *CSR) LowerTriangle() *CSR {
+	l := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int64, a.Rows+1)}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.ColIdx[p]) <= i {
+				l.RowPtr[i+1]++
+			}
+		}
+	}
+	for r := 0; r < a.Rows; r++ {
+		l.RowPtr[r+1] += l.RowPtr[r]
+	}
+	nnz := l.RowPtr[a.Rows]
+	l.ColIdx = make([]int32, nnz)
+	l.V = make([]float64, nnz)
+	q := int64(0)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.ColIdx[p]) <= i {
+				l.ColIdx[q] = a.ColIdx[p]
+				l.V[q] = a.V[p]
+				q++
+			}
+		}
+	}
+	return l
+}
