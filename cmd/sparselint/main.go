@@ -1,17 +1,25 @@
 // Command sparselint runs the repo-specific static-analysis pass over the
-// whole module: zero-allocation hot paths, lock discipline, deque ownership,
-// context-first APIs, and determinism of graph/kernel packages. It is
-// stdlib-only (go/parser + go/types with the source importer) and is wired
-// into `make lint` / `make check`.
+// whole module: zero-allocation hot paths (propagated over the call graph),
+// lock discipline, deque ownership, context-first APIs, determinism of
+// graph/kernel packages, atomic-field consistency, goroutine exit paths, and
+// bounds-check-elimination hygiene. It is stdlib-only (go/parser + go/types
+// with the source importer) and is wired into `make lint` / `make check`.
 //
 // Usage:
 //
 //	go run ./cmd/sparselint ./...
 //	go run ./cmd/sparselint -json ./...
+//	go run ./cmd/sparselint -analyzer hotpathalloc,bce ./...
+//	go run ./cmd/sparselint -graph ./...
 //
 // The package-pattern argument is accepted for familiarity but the tool
 // always analyzes the full module containing the working directory — the
-// ownership and lock rules are whole-program properties.
+// ownership, hot-path, and lock rules are whole-program properties.
+//
+// -json emits the versioned lint.Report schema (findings plus per-analyzer
+// counts and wall times); lint.sh redirects it to lint-report.json.
+// -graph dumps the interprocedural call graph (one edge per line) and exits
+// without running analyzers.
 //
 // Exit status: 0 clean, 1 findings, 2 load or usage error.
 package main
@@ -21,13 +29,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sparsetask/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit the versioned report schema as JSON")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	graph := flag.Bool("graph", false, "dump the call graph and exit without analyzing")
+	only := flag.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +46,20 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.AnalyzerByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "sparselint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
 	}
 
 	root, err := os.Getwd()
@@ -47,12 +72,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sparselint:", err)
 		os.Exit(2)
 	}
-	findings := lint.Run(prog, lint.Analyzers())
+
+	if *graph {
+		fmt.Print(lint.BuildCallGraph(prog).Dump(prog.Fset))
+		return
+	}
+
+	findings, stats := lint.RunStats(prog, analyzers)
 
 	if *jsonOut {
+		report := lint.Report{
+			Version:   lint.ReportVersion,
+			Total:     len(findings),
+			Analyzers: stats,
+			Findings:  findings,
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, "sparselint:", err)
 			os.Exit(2)
 		}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"sparsetask/internal/lint"
+)
+
+// TestReportSchemaGolden pins the -json output schema byte-for-byte. CI
+// consumers parse lint-report.json; any field rename, reorder, or type
+// change must bump lint.ReportVersion and this golden together.
+func TestReportSchemaGolden(t *testing.T) {
+	report := lint.Report{
+		Version: lint.ReportVersion,
+		Total:   1,
+		Analyzers: []lint.AnalyzerStat{
+			{Name: "hotpathalloc", Findings: 1, WallMS: 2.5},
+			{Name: "directive", Findings: 0, WallMS: 0},
+		},
+		Findings: []lint.Finding{
+			{
+				Analyzer: "hotpathalloc",
+				Pos:      token.Position{Filename: "internal/sparse/trsv.go", Line: 42, Column: 7},
+				Message:  "make allocates on the hot path",
+			},
+		},
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `{
+  "version": 1,
+  "total": 1,
+  "analyzers": [
+    {
+      "name": "hotpathalloc",
+      "findings": 1,
+      "wall_ms": 2.5
+    },
+    {
+      "name": "directive",
+      "findings": 0,
+      "wall_ms": 0
+    }
+  ],
+  "findings": [
+    {
+      "analyzer": "hotpathalloc",
+      "position": {
+        "Filename": "internal/sparse/trsv.go",
+        "Offset": 0,
+        "Line": 42,
+        "Column": 7
+      },
+      "message": "make allocates on the hot path"
+    }
+  ]
+}
+`
+	if buf.String() != golden {
+		t.Errorf("report schema drifted from golden:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+}
+
+// TestReportRoundTrip checks the schema is self-describing enough for a
+// consumer: decode what we encode and reject unknown versions.
+func TestReportRoundTrip(t *testing.T) {
+	in := lint.Report{Version: lint.ReportVersion, Total: 0, Analyzers: []lint.AnalyzerStat{}, Findings: []lint.Finding{}}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out lint.Report
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != lint.ReportVersion {
+		t.Fatalf("version round-trip: got %d, want %d", out.Version, lint.ReportVersion)
+	}
+}

@@ -24,7 +24,7 @@ import (
 // over independent outputs, which is bit-identical per element. Both paths
 // stay within 1e-12 of the scalar reference.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func Gemm(alpha float64, a []float64, m, k int, b []float64, n int, beta float64, c []float64) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic(fmt.Sprintf("blas: Gemm shape mismatch m=%d k=%d n=%d len(a)=%d len(b)=%d len(c)=%d", m, k, n, len(a), len(b), len(c)))
@@ -75,7 +75,7 @@ func Gemm(alpha float64, a []float64, m, k int, b []float64, n int, beta float64
 // vector. Each output row is a dot product accumulated in registers — no
 // read-modify-write of c per A element.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func gemmN1(alpha float64, a []float64, m, k int, b []float64, beta float64, c []float64) {
 	b = b[:k]
 	c = c[:m]
@@ -111,7 +111,7 @@ func gemmN1(alpha float64, a []float64, m, k int, b []float64, beta float64, c [
 // ascending-p sum followed by alpha·s + beta·c — the naive reference
 // rounding, element for element.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func gemmTiled(alpha float64, a []float64, m, k int, b []float64, n int, beta float64, c []float64) {
 	i := 0
 	for ; i+4 <= m; i += 4 {
@@ -181,7 +181,7 @@ func gemmTiled(alpha float64, a []float64, m, k int, b []float64, n int, beta fl
 // the references use (beta==0 must overwrite, never read, so NaN/garbage in
 // the output buffer is ignored).
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func storeScaled(c []float64, idx int, alpha, beta, s float64) {
 	switch beta {
 	case 0:
@@ -195,7 +195,7 @@ func storeScaled(c []float64, idx int, alpha, beta, s float64) {
 
 // storeTile4 writes one 4×4 accumulator tile back to C at (i, j).
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func storeTile4(c []float64, i, j, n int, alpha, beta float64,
 	c00, c01, c02, c03, c10, c11, c12, c13, c20, c21, c22, c23, c30, c31, c32, c33 float64) {
 	storeScaled(c, (i+0)*n+j+0, alpha, beta, c00)
@@ -225,7 +225,7 @@ func storeTile4(c []float64, i, j, n int, alpha, beta float64,
 // its column loop unrolled 4× over independent outputs. Both are within
 // 1e-12 of the scalar reference.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func GemmTN(alpha float64, a []float64, k, m int, b []float64, n int, beta float64, c []float64) {
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
 		panic(fmt.Sprintf("blas: GemmTN shape mismatch k=%d m=%d n=%d len(a)=%d len(b)=%d len(c)=%d", k, m, n, len(a), len(b), len(c)))
@@ -296,7 +296,7 @@ func GemmTN(alpha float64, a []float64, k, m int, b []float64, n int, beta float
 // Per-element rounding equals the naive reference (ascending-p sum, then
 // alpha·s + beta·c).
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func gemmTNTiled(alpha float64, a []float64, k, m int, b []float64, n int, beta float64, c []float64) {
 	i := 0
 	for ; i+4 <= m; i += 4 {
@@ -363,7 +363,7 @@ func gemmTNTiled(alpha float64, a []float64, k, m int, b []float64, n int, beta 
 // Dot returns xᵀy, accumulated in four independent partial sums (within
 // 1e-12 of the strictly sequential sum, and typically more accurate).
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("blas: Dot length mismatch")
@@ -385,7 +385,7 @@ func Dot(x, y []float64) float64 {
 
 // Axpy computes y += alpha·x.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("blas: Axpy length mismatch")
@@ -405,7 +405,7 @@ func Axpy(alpha float64, x, y []float64) {
 
 // Scal computes x *= alpha. alpha==0 compiles to memclr.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func Scal(alpha float64, x []float64) {
 	if alpha == 0 {
 		clear(x)
@@ -418,7 +418,7 @@ func Scal(alpha float64, x []float64) {
 
 // Copy copies src into dst.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func Copy(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("blas: Copy length mismatch")
@@ -428,7 +428,7 @@ func Copy(dst, src []float64) {
 
 // Nrm2 returns the Euclidean norm with scaling to avoid overflow.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func Nrm2(x []float64) float64 {
 	var scale, ssq float64
 	ssq = 1

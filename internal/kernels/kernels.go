@@ -20,7 +20,7 @@ import (
 // needed because the TDG serializes conflicting accesses. Fused tasks run
 // their constituent kernels back-to-back.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func Exec(g *graph.TDG, t *graph.Task, st *program.Store) {
 	if len(t.Parts) > 1 {
 		for _, part := range t.Parts {
@@ -33,7 +33,7 @@ func Exec(g *graph.TDG, t *graph.Task, st *program.Store) {
 
 // execPart runs one kernel instance.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first bool, st *program.Store) {
 	t := &fusedView{Kind: kind, Call: call, P: tp, Q: tq, First: first}
 	p := g.Prog

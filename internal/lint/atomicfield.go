@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicFieldAnalyzer enforces all-atomic-or-all-plain access to struct
+// fields, module-wide: a field that is passed to a sync/atomic function
+// (atomic.AddInt64(&s.n, 1) and friends — the racy plain siblings of the
+// atomic.Int64-style wrapper types) anywhere in the module must never be
+// read or written through a plain selector anywhere else. That mix is the
+// data-race class the race detector only catches when the interleaving
+// actually fires; composite-literal initialization (&S{n: 0}) stays legal
+// because construction precedes sharing.
+func atomicFieldAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicfield",
+		Doc:  "fields accessed via sync/atomic must not be read or written plainly anywhere in the module",
+	}
+	a.Run = func(pass *Pass) {
+		atomicAt := make(map[*types.Var]token.Position) // field -> first atomic site
+		sanctioned := make(map[*ast.SelectorExpr]bool)  // &x.f inside an atomic call
+		var plain []struct {
+			field *types.Var
+			pos   token.Pos
+		}
+
+		// Pass 1: find every field handed to a sync/atomic function by
+		// address.
+		for _, pkg := range pass.Prog.Pkgs {
+			info := pkg.Info
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeFunc(info, call)
+					if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+						return true
+					}
+					for _, arg := range call.Args {
+						un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || un.Op != token.AND {
+							continue
+						}
+						sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						field := fieldVar(info, sel)
+						if field == nil {
+							continue
+						}
+						sanctioned[sel] = true
+						p := pass.Prog.Fset.Position(un.Pos())
+						if prev, ok := atomicAt[field]; !ok || p.Filename < prev.Filename || (p.Filename == prev.Filename && p.Line < prev.Line) {
+							atomicAt[field] = p
+						}
+					}
+					return true
+				})
+			}
+		}
+		if len(atomicAt) == 0 {
+			return
+		}
+
+		// Pass 2: every other selector touching one of those fields is a
+		// plain (racy) access.
+		for _, pkg := range pass.Prog.Pkgs {
+			info := pkg.Info
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || sanctioned[sel] {
+						return true
+					}
+					field := fieldVar(info, sel)
+					if field == nil {
+						return true
+					}
+					if _, hot := atomicAt[field]; hot {
+						plain = append(plain, struct {
+							field *types.Var
+							pos   token.Pos
+						}{field, sel.Pos()})
+					}
+					return true
+				})
+			}
+		}
+		sort.Slice(plain, func(i, j int) bool { return plain[i].pos < plain[j].pos })
+		for _, p := range plain {
+			at := atomicAt[p.field]
+			pass.Reportf(p.pos, "field %s is accessed with sync/atomic (e.g. %s:%d) but read or written plainly here; mixed access races",
+				p.field.Name(), at.Filename, at.Line)
+		}
+	}
+	return a
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil when sel is
+// not a field selection.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

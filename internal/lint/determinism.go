@@ -92,6 +92,11 @@ func determinismAnalyzer() *Analyzer {
 							switch f.Name() {
 							case "Now", "Since", "Until":
 								pass.Reportf(n.Pos(), "time.%s reads the wall clock; plan and kernel output must be deterministic", f.Name())
+							case "NewTimer", "NewTicker", "Tick", "After", "AfterFunc", "Sleep":
+								// Timers are the wall clock by another name: any
+								// code whose behaviour branches on one is racing
+								// the scheduler.
+								pass.Reportf(n.Pos(), "time.%s makes control flow depend on the wall clock; plan and kernel output must be deterministic", f.Name())
 							}
 						case "math/rand", "math/rand/v2":
 							// Methods on *rand.Rand are fine — the stream was

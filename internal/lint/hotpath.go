@@ -1,42 +1,173 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 )
 
-// hotpathAllocAnalyzer enforces the PR-3 zero-allocation contract on
-// functions annotated `// sparselint:hotpath`: no closures capturing
-// variables, no append without a capacity preallocated in the same function,
-// no implicit interface conversions, no fmt calls or string concatenation,
-// no map/slice literals, and no make. Expressions inside panic(...)
-// arguments are exempt — failure paths never run in steady state, and the
-// kernels' shape-mismatch guards format their message right there.
+// hotpathAllocAnalyzer enforces the PR-3 zero-allocation contract
+// interprocedurally. Functions annotated `// sparselint:hotpath` are roots;
+// the bans — no closures capturing variables, no append without a capacity
+// preallocated in the same function, no implicit interface conversions, no
+// fmt calls or string concatenation, no map/slice literals, no make —
+// propagate over the whole-module call graph to every function reachable
+// from a root: direct calls, interface dispatch (resolved CHA-style), and
+// function values taken as values. Expressions inside panic(...) arguments
+// are exempt — failure paths never run in steady state.
+//
+// A reachable function annotated `// sparselint:coldcall <reason>` is a
+// boundary: its body is not checked and propagation stops there. The
+// annotation is itself validated — the reason is mandatory, combining it
+// with sparselint:hotpath is contradictory, and every direct call to a
+// coldcall function from hot code must sit in a cold context (a conditional
+// branch, a defer, or a panic argument): an unconditional coldcall on the
+// steady-state path is a mislabeled hot call.
 func hotpathAllocAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpathalloc",
-		Doc:  "sparselint:hotpath functions must not contain heap-escaping constructs",
+		Doc:  "no heap-escaping constructs reachable from sparselint:hotpath roots (coldcall bounds the walk)",
 	}
 	a.Run = func(pass *Pass) {
-		for _, pkg := range pass.Prog.Pkgs {
-			for _, file := range pkg.Files {
-				for _, decl := range file.Decls {
-					fn, ok := decl.(*ast.FuncDecl)
-					if !ok || fn.Body == nil || !hasAnnotation(fn.Doc, "hotpath") {
-						continue
-					}
-					checkHotFunc(pass, pkg, fn)
-				}
+		g := pass.Graph
+		cold := coldBoundaries(g, pass)
+		reached, via := hotClosure(g, cold)
+
+		for _, f := range g.Funcs() {
+			if !reached[f] || cold[f] {
+				continue
 			}
+			decl, pkg := g.DeclOf(f)
+			if decl.Body == nil {
+				continue
+			}
+			suffix := ""
+			if !hasAnnotation(decl.Doc, "hotpath") {
+				suffix = fmt.Sprintf(" [hot path: %s]", g.Chain(via, f))
+			}
+			checkHotFunc(pass, pkg, decl, suffix)
+			checkColdCallSites(pass, g, decl, f, cold, via)
 		}
 	}
 	return a
 }
 
-func checkHotFunc(pass *Pass, pkg *Package, fn *ast.FuncDecl) {
+// coldBoundaries collects the sparselint:coldcall-annotated functions and
+// validates the annotations themselves: the reason is mandatory, and pairing
+// coldcall with hotpath is contradictory. Shared by hotpathalloc and bce so
+// both walks stop at the same boundaries (bce passes a nil pass and skips
+// the validation half — hotpathalloc owns those findings).
+func coldBoundaries(g *CallGraph, pass *Pass) map[*types.Func]bool {
+	cold := make(map[*types.Func]bool)
+	for _, f := range g.Funcs() {
+		decl, _ := g.DeclOf(f)
+		reason, ok := annotationArg(decl.Doc, "coldcall")
+		if !ok {
+			continue
+		}
+		cold[f] = true
+		if pass == nil {
+			continue
+		}
+		if reason == "" {
+			pass.Reportf(decl.Name.Pos(), "sparselint:coldcall on %s needs a reason", f.Name())
+		}
+		if hasAnnotation(decl.Doc, "hotpath") {
+			pass.Reportf(decl.Name.Pos(), "%s is annotated both sparselint:hotpath and sparselint:coldcall; pick one", f.Name())
+		}
+	}
+	return cold
+}
+
+// hotClosure computes the transitive hot set: everything reachable from a
+// hotpath-annotated root, stopping at (but including) coldcall boundaries.
+func hotClosure(g *CallGraph, cold map[*types.Func]bool) (map[*types.Func]bool, map[*types.Func]CallEdge) {
+	var roots []*types.Func
+	for _, f := range g.Funcs() {
+		decl, _ := g.DeclOf(f)
+		if hasAnnotation(decl.Doc, "hotpath") {
+			roots = append(roots, f)
+		}
+	}
+	return g.ReachableFrom(roots, func(f *types.Func) bool { return cold[f] })
+}
+
+// checkColdCallSites validates the coldcall boundary contract at f's call
+// sites: a direct call from hot code into a coldcall function must be
+// conditionally executed (or deferred), never on the unconditional
+// steady-state path.
+func checkColdCallSites(pass *Pass, g *CallGraph, decl *ast.FuncDecl, f *types.Func, cold map[*types.Func]bool, via map[*types.Func]CallEdge) {
+	var spans []coldSpan
+	collected := false
+	for _, e := range g.EdgesFrom(f) {
+		if !cold[e.Callee] || e.Kind != CallDirect {
+			continue
+		}
+		if !collected {
+			spans = coldSpans(pass, g.decls[f].Pkg.Info, decl.Body)
+			collected = true
+		}
+		inCold := false
+		for _, s := range spans {
+			if e.Site >= s.lo && e.Site < s.hi {
+				inCold = true
+				break
+			}
+		}
+		if !inCold {
+			pass.Reportf(e.Site, "sparselint:coldcall %s is called unconditionally from hot code in %s; a cold boundary must sit behind an error/init/panic branch", e.Callee.Name(), f.Name())
+		}
+	}
+}
+
+// coldSpan is a source interval whose statements only execute conditionally:
+// if/else bodies, switch cases, select clauses, defers, and panic arguments.
+type coldSpan struct{ lo, hi token.Pos }
+
+// coldSpans collects the conditionally-executed intervals of body.
+func coldSpans(pass *Pass, info *types.Info, body *ast.BlockStmt) []coldSpan {
+	var spans []coldSpan
+	add := func(n ast.Node) {
+		if n != nil {
+			spans = append(spans, coldSpan{n.Pos(), n.End()})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			add(n.Body)
+			add(n.Else)
+		case *ast.CaseClause:
+			for _, s := range n.Body {
+				add(s)
+			}
+		case *ast.CommClause:
+			for _, s := range n.Body {
+				add(s)
+			}
+		case *ast.DeferStmt:
+			add(n)
+		case *ast.CallExpr:
+			if isBuiltinCall(info, n, "panic") {
+				for _, arg := range n.Args {
+					add(arg)
+				}
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+func checkHotFunc(pass *Pass, pkg *Package, fn *ast.FuncDecl, suffix string) {
 	info := pkg.Info
 	prealloc := preallocatedSlices(info, fn.Body)
+	// Findings in propagated (unannotated) functions carry the provenance
+	// chain back to their hotpath root.
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, format+"%s", append(args, suffix)...)
+	}
 
 	// Spans of panic(...) arguments: constructs inside them only run on the
 	// failure path and are exempt.
@@ -67,7 +198,7 @@ func checkHotFunc(pass *Pass, pkg *Package, fn *ast.FuncDecl) {
 			// Don't descend: the literal body is a different function.
 			if !exempt(n.Pos()) {
 				if caps := capturedVars(info, n); len(caps) > 0 {
-					pass.Reportf(n.Pos(), "closure captures %s; capturing closures allocate in hot paths", caps[0])
+					report(n.Pos(), "closure captures %s; capturing closures allocate in hot paths", caps[0])
 				}
 			}
 			return false
@@ -78,10 +209,10 @@ func checkHotFunc(pass *Pass, pkg *Package, fn *ast.FuncDecl) {
 			switch {
 			case isBuiltinCall(info, n, "append"):
 				if !appendPreallocated(info, n, prealloc) {
-					pass.Reportf(n.Pos(), "append may grow its backing array; reslice a preallocated buffer ([:0]) instead")
+					report(n.Pos(), "append may grow its backing array; reslice a preallocated buffer ([:0]) instead")
 				}
 			case isBuiltinCall(info, n, "make"):
-				pass.Reportf(n.Pos(), "make allocates; hoist the allocation out of the hot path")
+				report(n.Pos(), "make allocates; hoist the allocation out of the hot path")
 			default:
 				if isAnyBuiltin(info, n) {
 					// panic boxes its argument, but it is the failure path;
@@ -90,20 +221,20 @@ func checkHotFunc(pass *Pass, pkg *Package, fn *ast.FuncDecl) {
 				}
 				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
 					if types.IsInterface(tv.Type) && len(n.Args) == 1 && isConcrete(info, n.Args[0]) {
-						pass.Reportf(n.Pos(), "conversion to interface %s allocates", tv.Type)
+						report(n.Pos(), "conversion to interface %s allocates", tv.Type)
 					}
 					return true
 				}
 				if callee := calleeFunc(info, n); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
-					pass.Reportf(n.Pos(), "fmt.%s allocates (formatting + interface boxing)", callee.Name())
+					report(n.Pos(), "fmt.%s allocates (formatting + interface boxing)", callee.Name())
 				}
-				checkInterfaceArgs(pass, info, n)
+				checkInterfaceArgs(report, info, n)
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && !exempt(n.Pos()) {
 				if t, ok := info.Types[n]; ok {
 					if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						pass.Reportf(n.Pos(), "string concatenation allocates")
+						report(n.Pos(), "string concatenation allocates")
 					}
 				}
 			}
@@ -112,9 +243,9 @@ func checkHotFunc(pass *Pass, pkg *Package, fn *ast.FuncDecl) {
 				if t, ok := info.Types[n]; ok {
 					switch t.Type.Underlying().(type) {
 					case *types.Map:
-						pass.Reportf(n.Pos(), "map literal allocates")
+						report(n.Pos(), "map literal allocates")
 					case *types.Slice:
-						pass.Reportf(n.Pos(), "slice literal allocates")
+						report(n.Pos(), "slice literal allocates")
 					}
 				}
 			}
@@ -164,7 +295,7 @@ func appendPreallocated(info *types.Info, call *ast.CallExpr, prealloc map[types
 // checkInterfaceArgs flags arguments whose concrete value is implicitly
 // converted to an interface parameter — the boxing that makes fmt-style
 // APIs allocate.
-func checkInterfaceArgs(pass *Pass, info *types.Info, call *ast.CallExpr) {
+func checkInterfaceArgs(report func(token.Pos, string, ...any), info *types.Info, call *ast.CallExpr) {
 	tv, ok := info.Types[call.Fun]
 	if !ok {
 		return
@@ -190,7 +321,7 @@ func checkInterfaceArgs(pass *Pass, info *types.Info, call *ast.CallExpr) {
 			continue
 		}
 		if isConcrete(info, arg) {
-			pass.Reportf(arg.Pos(), "implicit conversion of %s to interface %s allocates", info.Types[arg].Type, pt)
+			report(arg.Pos(), "implicit conversion of %s to interface %s allocates", info.Types[arg].Type, pt)
 		}
 	}
 }

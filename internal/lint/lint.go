@@ -12,12 +12,19 @@
 //
 // # Annotations
 //
-//	// sparselint:hotpath   — function must not contain heap-escaping
-//	//                        constructs (hotpathalloc)
-//	// sparselint:owner     — method may only be called from functions
-//	//                        reachable from an owner loop (dequeowner)
-//	// sparselint:ownerloop — function is an owning worker loop: the root
-//	//                        set for dequeowner reachability
+// Annotations are Go directive comments (no space after //, one per line)
+// in a function's doc comment:
+//
+//	//sparselint:hotpath          — function must not contain heap-escaping
+//	//                              constructs; the obligation propagates over
+//	//                              the call graph (hotpathalloc, bce)
+//	//sparselint:coldcall <reason> — reachable from hot code by design, e.g.
+//	//                              a grow or error path; stops hot-path
+//	//                              propagation, must be called conditionally
+//	//sparselint:owner            — method may only be called from functions
+//	//                              reachable from an owner loop (dequeowner)
+//	//sparselint:ownerloop        — function is an owning worker loop: the
+//	//                              root set for dequeowner reachability
 //
 // # Suppression
 //
@@ -36,6 +43,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -56,9 +64,11 @@ type Analyzer struct {
 	Run  func(pass *Pass)
 }
 
-// Pass gives an analyzer access to the loaded program and a reporting sink.
+// Pass gives an analyzer access to the loaded program, the shared
+// whole-module call graph, and a reporting sink.
 type Pass struct {
 	Prog     *Program
+	Graph    *CallGraph
 	analyzer *Analyzer
 	findings *[]Finding
 }
@@ -80,6 +90,9 @@ func Analyzers() []*Analyzer {
 		dequeOwnerAnalyzer(),
 		ctxFirstAnalyzer(),
 		determinismAnalyzer(),
+		atomicFieldAnalyzer(),
+		goleakAnalyzer(),
+		bceAnalyzer(),
 	}
 }
 
@@ -93,21 +106,91 @@ func AnalyzerByName(name string) *Analyzer {
 	return nil
 }
 
+// AnalyzerStat is one analyzer's slice of a run: surviving finding count and
+// wall time. It is part of the stable machine-readable report schema.
+type AnalyzerStat struct {
+	Name     string  `json:"name"`
+	Findings int     `json:"findings"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// Report is the machine-readable result of a sparselint run (the lint.sh
+// lint-report.json artifact). Version guards schema evolution: consumers
+// must reject versions they do not know.
+type Report struct {
+	Version   int            `json:"version"`
+	Total     int            `json:"total"`
+	Analyzers []AnalyzerStat `json:"analyzers"`
+	Findings  []Finding      `json:"findings"`
+}
+
+// ReportVersion is the current Report schema version.
+const ReportVersion = 1
+
 // Run executes the analyzers over prog, applies //lint:ignore suppressions,
 // and returns the surviving findings sorted by position.
 func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	findings, _ := RunStats(prog, analyzers)
+	return findings
+}
+
+// RunStats is Run plus per-analyzer surviving-finding counts and wall times
+// (in analyzer order, with a trailing "directive" entry for the suppression
+// machinery's own findings).
+func RunStats(prog *Program, analyzers []*Analyzer) ([]Finding, []AnalyzerStat) {
+	graph := BuildCallGraph(prog)
 	var findings []Finding
+	stats := make([]AnalyzerStat, 0, len(analyzers)+1)
 	for _, a := range analyzers {
-		a.Run(&Pass{Prog: prog, analyzer: a, findings: &findings})
+		start := time.Now()
+		from := len(findings)
+		a.Run(&Pass{Prog: prog, Graph: graph, analyzer: a, findings: &findings})
+		stats = append(stats, AnalyzerStat{
+			Name:     a.Name,
+			Findings: len(findings) - from,
+			WallMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		})
 	}
-	sup, malformed := collectSuppressions(prog, analyzers)
-	findings = append(findings, malformed...)
+	sup, malformed := collectSuppressions(prog)
 	kept := findings[:0]
 	for _, f := range findings {
-		if !sup.matches(f) {
+		if s := sup.matches(f); s != nil {
+			s.used = true
+			for i := range stats {
+				if stats[i].Name == f.Analyzer {
+					stats[i].Findings--
+				}
+			}
+		} else {
 			kept = append(kept, f)
 		}
 	}
+	kept = append(kept, malformed...)
+	// A directive that suppresses nothing is stale: the finding it once
+	// covered moved or was fixed, and a dormant ignore is a hole waiting for
+	// the next real finding on that line. Only directives naming an analyzer
+	// that actually ran are judged — a partial -analyzer run cannot see what
+	// the full set suppresses.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, s := range sup.ordered() {
+		if !s.used && ran[s.analyzer] {
+			kept = append(kept, Finding{
+				Analyzer: "directive",
+				Pos:      s.pos,
+				Message:  fmt.Sprintf("lint:ignore sparselint/%s suppresses nothing; remove the stale directive", s.analyzer),
+			})
+		}
+	}
+	dirCount := 0
+	for _, f := range kept {
+		if f.Analyzer == "directive" {
+			dirCount++
+		}
+	}
+	stats = append(stats, AnalyzerStat{Name: "directive", Findings: dirCount})
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i].Pos, kept[j].Pos
 		if a.Filename != b.Filename {
@@ -121,7 +204,7 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 		}
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
-	return kept
+	return kept, stats
 }
 
 // ----------------------------------------------------------- suppressions
@@ -134,21 +217,49 @@ type suppressionKey struct {
 	analyzer string
 }
 
-type suppressions map[suppressionKey]bool
+// suppression is one well-formed //lint:ignore directive; used flips when it
+// actually swallows a finding, so stale directives can be reported.
+type suppression struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
 
-// matches reports whether f is covered by a directive on its own line or the
-// line directly above.
-func (s suppressions) matches(f Finding) bool {
-	return s[suppressionKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
-		s[suppressionKey{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+type suppressions map[suppressionKey]*suppression
+
+// matches returns the directive covering f — on f's own line or the line
+// directly above — or nil.
+func (s suppressions) matches(f Finding) *suppression {
+	if d := s[suppressionKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}]; d != nil {
+		return d
+	}
+	return s[suppressionKey{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+}
+
+// ordered returns the directives sorted by position for deterministic stale
+// reporting.
+func (s suppressions) ordered() []*suppression {
+	out := make([]*suppression, 0, len(s))
+	for _, d := range s {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.Filename != out[j].pos.Filename {
+			return out[i].pos.Filename < out[j].pos.Filename
+		}
+		return out[i].pos.Line < out[j].pos.Line
+	})
+	return out
 }
 
 // collectSuppressions scans every comment for //lint:ignore directives.
 // Malformed directives (wrong target, missing reason) come back as findings
-// so a typo cannot silently disable a gate.
-func collectSuppressions(prog *Program, analyzers []*Analyzer) (suppressions, []Finding) {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
+// so a typo cannot silently disable a gate. Validity is judged against the
+// full analyzer set, not the analyzers of this run, so a filtered -analyzer
+// run does not misreport directives for the analyzers it skipped.
+func collectSuppressions(prog *Program) (suppressions, []Finding) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
 	sup := make(suppressions)
@@ -179,7 +290,8 @@ func collectSuppressions(prog *Program, analyzers []*Analyzer) (suppressions, []
 						continue
 					}
 					p := prog.Fset.Position(c.Pos())
-					sup[suppressionKey{p.Filename, p.Line, name}] = true
+					d := &suppression{analyzer: name, pos: p}
+					sup[suppressionKey{p.Filename, p.Line, name}] = d
 				}
 			}
 		}
@@ -189,18 +301,35 @@ func collectSuppressions(prog *Program, analyzers []*Analyzer) (suppressions, []
 
 // ------------------------------------------------------------ annotations
 
-// hasAnnotation reports whether doc carries the `sparselint:<tag>` marker.
-func hasAnnotation(doc *ast.CommentGroup, tag string) bool {
+// annotationArg returns the argument text of a `//sparselint:<tag>`
+// directive in doc (the coldcall reason), and whether the directive is
+// present at all. Annotations are Go directive comments — no space after
+// `//`, one directive per line — so prose that merely mentions an
+// annotation can never activate it.
+func annotationArg(doc *ast.CommentGroup, tag string) (string, bool) {
 	if doc == nil {
-		return false
+		return "", false
 	}
-	want := "sparselint:" + tag
+	prefix := "//sparselint:" + tag
 	for _, c := range doc.List {
-		for _, f := range strings.Fields(c.Text) {
-			if f == want {
-				return true
-			}
+		rest, ok := strings.CutPrefix(c.Text, prefix)
+		if !ok {
+			continue
 		}
+		if rest == "" {
+			return "", true
+		}
+		if rest[0] == ' ' || rest[0] == '\t' {
+			return strings.TrimSpace(rest), true
+		}
+		// A longer tag with this one as a prefix: not a match.
 	}
-	return false
+	return "", false
+}
+
+// hasAnnotation reports whether doc carries the `//sparselint:<tag>`
+// directive.
+func hasAnnotation(doc *ast.CommentGroup, tag string) bool {
+	_, ok := annotationArg(doc, tag)
+	return ok
 }

@@ -76,6 +76,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"dequeowner", "fixture/dequeowner"},
 		{"ctxfirst", "fixture/internal/server"},
 		{"determinism", "fixture/internal/kernels"},
+		{"atomicfield", "fixture/atomicfield"},
+		{"goleak", "fixture/internal/sched"},
+		{"bce", "fixture/bce"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -122,8 +125,8 @@ func TestDirectiveValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	findings := Run(prog, Analyzers())
-	if len(findings) != 2 {
-		t.Fatalf("want 2 directive findings, got %d: %v", len(findings), findings)
+	if len(findings) != 3 {
+		t.Fatalf("want 3 directive findings, got %d: %v", len(findings), findings)
 	}
 	for _, f := range findings {
 		if f.Analyzer != "directive" {
@@ -135,6 +138,9 @@ func TestDirectiveValidation(t *testing.T) {
 	}
 	if !strings.Contains(findings[1].Message, "needs a reason") {
 		t.Errorf("second finding should flag the missing reason: %s", findings[1])
+	}
+	if !strings.Contains(findings[2].Message, "suppresses nothing") {
+		t.Errorf("third finding should flag the stale directive: %s", findings[2])
 	}
 }
 
@@ -159,19 +165,22 @@ func TestRepoIsClean(t *testing.T) {
 // suppression only covers its own line and the line directly below.
 func TestSuppressionRequiresAdjacency(t *testing.T) {
 	sup := suppressions{
-		{file: "f.go", line: 10, analyzer: "determinism"}: true,
+		{file: "f.go", line: 10, analyzer: "determinism"}: &suppression{
+			analyzer: "determinism",
+			pos:      tokenPosition("f.go", 10),
+		},
 	}
 	at := func(line int) Finding {
 		return Finding{Analyzer: "determinism", Pos: tokenPosition("f.go", line)}
 	}
-	if !sup.matches(at(10)) || !sup.matches(at(11)) {
+	if sup.matches(at(10)) == nil || sup.matches(at(11)) == nil {
 		t.Error("directive must cover its own line and the next")
 	}
-	if sup.matches(at(9)) || sup.matches(at(12)) {
+	if sup.matches(at(9)) != nil || sup.matches(at(12)) != nil {
 		t.Error("directive must not cover distant lines")
 	}
 	other := Finding{Analyzer: "hotpathalloc", Pos: tokenPosition("f.go", 10)}
-	if sup.matches(other) {
+	if sup.matches(other) != nil {
 		t.Error("directive must be analyzer-specific")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // lockDisciplineAnalyzer enforces mutex hygiene everywhere: every Lock/RLock
@@ -181,6 +182,7 @@ func (lc *lockChecker) stmt(s ast.Stmt, st *lockState) bool {
 		if call, ok := s.X.(*ast.CallExpr); ok {
 			if key, op, ok := lc.mutexOp(call); ok {
 				if op == "lock" {
+					lc.checkReacquire(call.Pos(), key, st)
 					st.held[key] = call.Pos()
 				} else {
 					delete(st.held, key)
@@ -359,6 +361,31 @@ func (lc *lockChecker) stmt(s ast.Stmt, st *lockState) bool {
 		lc.exprScan(s.X, st)
 	}
 	return false
+}
+
+// checkReacquire flags taking a lock that this path already physically
+// holds: Go's mutexes are not reentrant, so a second Lock — including the
+// RLock→Lock upgrade and its Lock→RLock mirror — parks the goroutine on
+// itself. The legal upgrade is RUnlock first, Lock, revalidate.
+func (lc *lockChecker) checkReacquire(pos token.Pos, key string, st *lockState) {
+	holds := func(k string) bool {
+		_, h := st.held[k]
+		if !h {
+			_, h = st.deferred[k]
+		}
+		return h
+	}
+	base, isRead := strings.CutSuffix(key, ":r")
+	switch {
+	case holds(key) && isRead:
+		lc.pass.Reportf(pos, "recursive RLock on %s can deadlock against a queued writer; RWMutex read locks must not nest", base)
+	case holds(key):
+		lc.pass.Reportf(pos, "%s is already locked on this path; Go mutexes are not reentrant, a second Lock self-deadlocks", key)
+	case isRead && holds(base):
+		lc.pass.Reportf(pos, "RLock on %s while its write lock is held self-deadlocks", base)
+	case !isRead && holds(key+":r"):
+		lc.pass.Reportf(pos, "upgrading %s from RLock to Lock self-deadlocks; RUnlock first, then Lock and revalidate", key)
+	}
 }
 
 // caseClauses merges the branches of a switch body; terminated only when

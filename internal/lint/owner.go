@@ -1,10 +1,7 @@
 package lint
 
 import (
-	"go/ast"
-	"go/token"
 	"go/types"
-	"sort"
 )
 
 // dequeOwnerAnalyzer enforces single-owner access to work-stealing deques:
@@ -13,91 +10,45 @@ import (
 // reachable from a `// sparselint:ownerloop` root (the scheduler's worker
 // loop). Everything else must go through Steal or be suppressed with an
 // explicit justification (e.g. seeding roots before the workers start).
+//
+// Reachability runs over the shared whole-module call graph, so owner
+// status flows through interface dispatch and function values the same way
+// hot-path obligations do. Func literal bodies are attributed to the
+// enclosing declaration: a closure runs with its creator's ownership.
 func dequeOwnerAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "dequeowner",
 		Doc:  "sparselint:owner methods called only from sparselint:ownerloop reachable code",
 	}
 	a.Run = func(pass *Pass) {
+		g := pass.Graph
 		owners := make(map[*types.Func]bool)
-		roots := make(map[*types.Func]bool)
-		edges := make(map[*types.Func][]*types.Func)
-		type callSite struct {
-			pos    token.Pos
-			caller *types.Func
-			callee *types.Func
-		}
-		var sites []callSite
-
-		for _, pkg := range pass.Prog.Pkgs {
-			for _, file := range pkg.Files {
-				for _, decl := range file.Decls {
-					fn, ok := decl.(*ast.FuncDecl)
-					if !ok {
-						continue
-					}
-					def, _ := pkg.Info.Defs[fn.Name].(*types.Func)
-					if def == nil {
-						continue
-					}
-					if hasAnnotation(fn.Doc, "owner") {
-						owners[def] = true
-					}
-					if hasAnnotation(fn.Doc, "ownerloop") {
-						roots[def] = true
-					}
-					if fn.Body == nil {
-						continue
-					}
-					// Func literal bodies are attributed to the enclosing
-					// declaration: a closure runs with its creator's ownership.
-					ast.Inspect(fn.Body, func(n ast.Node) bool {
-						call, ok := n.(*ast.CallExpr)
-						if !ok {
-							return true
-						}
-						callee := calleeFunc(pkg.Info, call)
-						if callee == nil {
-							return true
-						}
-						edges[def] = append(edges[def], callee)
-						sites = append(sites, callSite{call.Pos(), def, callee})
-						return true
-					})
-				}
+		var roots []*types.Func
+		for _, f := range g.Funcs() {
+			decl, _ := g.DeclOf(f)
+			if hasAnnotation(decl.Doc, "owner") {
+				owners[f] = true
+			}
+			if hasAnnotation(decl.Doc, "ownerloop") {
+				roots = append(roots, f)
 			}
 		}
 		if len(owners) == 0 {
 			return
 		}
+		reachable, _ := g.ReachableFrom(roots, nil)
 
-		reachable := make(map[*types.Func]bool)
-		var queue []*types.Func
-		for r := range roots {
-			reachable[r] = true
-			queue = append(queue, r)
-		}
-		sort.Slice(queue, func(i, j int) bool { return queue[i].FullName() < queue[j].FullName() })
-		for len(queue) > 0 {
-			f := queue[0]
-			queue = queue[1:]
-			for _, next := range edges[f] {
-				if !reachable[next] {
-					reachable[next] = true
-					queue = append(queue, next)
+		for _, caller := range g.Funcs() {
+			if reachable[caller] || owners[caller] {
+				continue
+			}
+			for _, e := range g.EdgesFrom(caller) {
+				if !owners[e.Callee] || e.Kind == CallInterface {
+					continue
 				}
+				pass.Reportf(e.Site, "%s is owner-only (sparselint:owner) but %s is not reachable from any sparselint:ownerloop",
+					e.Callee.FullName(), caller.FullName())
 			}
-		}
-
-		for _, s := range sites {
-			if !owners[s.callee] {
-				continue
-			}
-			if reachable[s.caller] || owners[s.caller] {
-				continue
-			}
-			pass.Reportf(s.pos, "%s is owner-only (sparselint:owner) but %s is not reachable from any sparselint:ownerloop",
-				s.callee.FullName(), s.caller.FullName())
 		}
 	}
 	return a

@@ -1,0 +1,39 @@
+// Package counter exercises sparselint/atomicfield: a field touched through
+// sync/atomic anywhere must never be read or written plainly anywhere else.
+package counter
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64 // atomic everywhere: clean
+	mixed int64 // atomic in bump, plain in report: the race
+	plain int64 // never atomic: plain access is fine
+}
+
+// newStats shows that composite-literal initialization stays legal:
+// construction precedes sharing.
+func newStats() *stats {
+	return &stats{hits: 0, mixed: 0}
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.mixed, 1)
+}
+
+func (s *stats) report() int64 {
+	h := atomic.LoadInt64(&s.hits)
+	m := s.mixed // want `field mixed is accessed with sync/atomic`
+	return h + m
+}
+
+func (s *stats) reset() {
+	atomic.StoreInt64(&s.hits, 0)
+	s.mixed = 0 // want `field mixed is accessed with sync/atomic`
+	s.plain = 0
+}
+
+func (s *stats) drain() int64 {
+	//lint:ignore sparselint/atomicfield fixture: single-owner shutdown path, workers already joined
+	return s.mixed
+}

@@ -1,0 +1,100 @@
+// Package kernels exercises sparselint/bce: hot-path loops must not defeat
+// bounds-check elimination.
+package kernels
+
+//sparselint:hotpath
+func reindex(a []float64, base, n int) float64 {
+	var s float64
+	for j := 0; j < n; j++ {
+		s += a[base+j] // want `indexing a with loop-variant base\+j defeats bounds-check elimination`
+	}
+	return s
+}
+
+// windowed is the sanctioned rewrite: pre-slice, then index the window.
+//
+//sparselint:hotpath
+func windowed(a []float64, base, n int) float64 {
+	w := a[base : base+n]
+	var s float64
+	for j := 0; j < n; j++ {
+		s += w[j]
+	}
+	return s
+}
+
+// strided is a column gather: the induction variable only appears scaled,
+// no contiguous window exists, so no finding.
+//
+//sparselint:hotpath
+func strided(b []float64, n, j, k int) float64 {
+	var s float64
+	for p := 0; p < k; p++ {
+		s += b[p*n+j]
+	}
+	return s
+}
+
+//sparselint:hotpath
+func unrolledBad(x []float64, n int) float64 {
+	var s0, s1, s2, s3 float64
+	for i := 0; i+4 <= n; i += 4 {
+		s0 += x[i] // want `unrolled accesses of x up to offset \+3 lack a bounds hint`
+		s1 += x[i+1]
+		s2 += x[i+2]
+		s3 += x[i+3]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// unrolledCondHint bounds the loop against len(x): every offset is proven.
+//
+//sparselint:hotpath
+func unrolledCondHint(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	for i := 0; i+4 <= len(x); i += 4 {
+		s0 += x[i]
+		s1 += x[i+1]
+		s2 += x[i+2]
+		s3 += x[i+3]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// unrolledResliceHint re-slices with an explicit high before the loop.
+//
+//sparselint:hotpath
+func unrolledResliceHint(x []float64, n int) float64 {
+	x = x[:n]
+	var s0, s1 float64
+	for i := 0; i+2 <= n; i += 2 {
+		s0 += x[i]
+		s1 += x[i+1]
+	}
+	return s0 + s1
+}
+
+// unrolledMaxFirst touches the maximum offset first; later checks fold.
+//
+//sparselint:hotpath
+func unrolledMaxFirst(x []float64, n int) float64 {
+	var s0, s1 float64
+	for i := 0; i+2 <= n; i += 2 {
+		s1 += x[i+1]
+		s0 += x[i]
+	}
+	return s0 + s1
+}
+
+//sparselint:hotpath
+func hotCaller(a []float64, base, n int) float64 { return helper(a, base, n) }
+
+// helper inherits the obligation from hotCaller; the finding carries the
+// chain.
+func helper(a []float64, base, n int) float64 {
+	var s float64
+	for j := 0; j < n; j++ {
+		s += a[base+j] // want `pre-slice a window.*hot path: hotCaller → helper`
+	}
+	return s
+}

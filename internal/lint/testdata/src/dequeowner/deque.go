@@ -6,12 +6,12 @@ type queue struct{ xs []int }
 
 // Push adds v at the owner end.
 //
-// sparselint:owner
+//sparselint:owner
 func (q *queue) Push(v int) { q.xs = append(q.xs, v) }
 
 // Pop removes the owner-end element.
 //
-// sparselint:owner
+//sparselint:owner
 func (q *queue) Pop() (int, bool) {
 	if len(q.xs) == 0 {
 		return 0, false
@@ -23,7 +23,7 @@ func (q *queue) Pop() (int, bool) {
 
 // loop is the owning worker loop.
 //
-// sparselint:ownerloop
+//sparselint:ownerloop
 func loop(q *queue) {
 	for {
 		v, ok := q.Pop()

@@ -50,3 +50,15 @@ func Max(m map[string]int) int {
 	}
 	return best
 }
+
+// Timers are the wall clock by another name.
+func Debounce(ch chan int) int {
+	t := time.NewTimer(time.Millisecond) // want `time.NewTimer makes control flow depend on the wall clock`
+	defer t.Stop()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Millisecond): // want `time.After makes control flow depend on the wall clock`
+		return 0
+	}
+}

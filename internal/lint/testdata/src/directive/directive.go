@@ -11,3 +11,6 @@ var a = 1
 var b = 2
 
 var _ = a + b
+
+//lint:ignore sparselint/determinism fixture: nothing on this line produces a finding
+var c = 3

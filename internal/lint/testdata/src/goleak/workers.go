@@ -1,0 +1,103 @@
+// Package workers exercises sparselint/goleak: every go statement needs a
+// statically visible exit path. Loaded under fixture/internal/sched so the
+// scope rule applies.
+package workers
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	wg    sync.WaitGroup
+	tasks chan int
+	out   chan int
+}
+
+// start spawns the sanctioned shapes.
+func (p *pool) start(ctx context.Context) {
+	// Range over a channel: drains until close.
+	go func() {
+		for t := range p.tasks {
+			_ = t
+		}
+	}()
+
+	// ctx.Done receive in a select.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-p.tasks:
+				_ = t
+			}
+		}
+	}()
+
+	// Comma-ok receive observes closure.
+	go func() {
+		for {
+			t, ok := <-p.tasks
+			if !ok {
+				return
+			}
+			_ = t
+		}
+	}()
+
+	// WaitGroup join: Done here, Wait visible in Close below.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.out <- 1
+	}()
+
+	// Named method body resolved through the call graph.
+	go p.worker()
+
+	// Structurally finite with only buffered sends.
+	results := make(chan int, 4)
+	go func() {
+		results <- 42
+	}()
+	_ = results
+}
+
+func (p *pool) worker() {
+	for t := range p.tasks {
+		_ = t
+	}
+}
+
+// Close joins the workers: the package-visible Wait that legitimizes the
+// wg.Done evidence above.
+func (p *pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// leaks spawns the reportable shapes.
+func (p *pool) leaks(done chan struct{}) {
+	go func() { // want `goroutine has no statically visible exit path`
+		for {
+		}
+	}()
+
+	unbuffered := make(chan int)
+	go func() { // want `goroutine has no statically visible exit path`
+		unbuffered <- 1
+	}()
+
+	go func() { // want `goroutine has no statically visible exit path`
+		for {
+			select {
+			case <-done:
+				// Seen, but the loop never exits: still no ctx.Done, no
+				// drain, no join.
+			case t := <-p.tasks:
+				_ = t
+			}
+		}
+	}()
+}

@@ -8,7 +8,7 @@ var sink func() int
 
 // hotBad trips every rule.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func hotBad(xs []int, name string) {
 	total := 0
 	for _, x := range xs {
@@ -33,7 +33,7 @@ func hotBad(xs []int, name string) {
 // hotClean shows the sanctioned patterns: reslice-then-append reuses a
 // preallocated buffer, and panic arguments are failure-path-only.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func hotClean(dst, src []float64) {
 	if len(dst) < len(src) {
 		panic(fmt.Sprintf("hot: dst too small: %d < %d", len(dst), len(src)))
@@ -47,7 +47,7 @@ func hotClean(dst, src []float64) {
 
 // hotSuppressed carries an explicit justification.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func hotSuppressed(xs []int) []int {
 	var out []int
 	for _, x := range xs {

@@ -1,0 +1,74 @@
+// Interprocedural cases: obligations propagate from hotpath roots over
+// direct calls, interface dispatch, and function values, and stop at
+// validated coldcall boundaries.
+package hot
+
+import "fmt"
+
+//sparselint:hotpath
+func hotRoot(xs []int) int { return hop1(xs) }
+
+func hop1(xs []int) int { return hop2(xs) }
+
+// hop2 is two hops from the root; its findings carry the provenance chain.
+func hop2(xs []int) int {
+	tmp := make([]int, len(xs)) // want `make allocates.*hot path: hotRoot → hop1 → hop2`
+	copy(tmp, xs)
+	return len(tmp)
+}
+
+// summer is dispatched dynamically; CHA drags every implementation into hot
+// scope.
+type summer interface{ sum(xs []int) int }
+
+type boxSummer struct{}
+
+func (boxSummer) sum(xs []int) int {
+	box := any(len(xs)) // want `conversion to interface.*hot path: hotIface → sum`
+	_ = box
+	return 0
+}
+
+//sparselint:hotpath
+func hotIface(s summer, xs []int) int { return s.sum(xs) }
+
+// refTarget is never called directly from hot code, but hotRef takes its
+// value — every later indirect call is invisible, so the obligation lands
+// here.
+func refTarget(xs []int) int {
+	var ys []int
+	ys = append(ys, len(xs)) // want `append may grow.*hot path: hotRef → refTarget`
+	return len(ys)
+}
+
+//sparselint:hotpath
+func hotRef() func([]int) int { return refTarget }
+
+// coldFail is a sanctioned boundary: its body is not checked, and
+// propagation stops here.
+//
+//sparselint:coldcall fixture: error-path formatting is off the steady state
+func coldFail(n int) error { return fmt.Errorf("hot: empty input (n=%d)", n) }
+
+//sparselint:hotpath
+func hotWithCold(xs []int) error {
+	if len(xs) == 0 {
+		return coldFail(len(xs)) // conditional: a legal cold boundary crossing
+	}
+	return nil
+}
+
+//sparselint:coldcall fixture: setup boundary
+func coldSetup() {}
+
+//sparselint:hotpath
+func hotColdUncond() {
+	coldSetup() // want `coldSetup is called unconditionally from hot code`
+}
+
+//sparselint:coldcall
+func coldNoReason() {} // want `sparselint:coldcall on coldNoReason needs a reason`
+
+//sparselint:hotpath
+//sparselint:coldcall fixture: contradictory pair
+func hotAndCold() {} // want `annotated both sparselint:hotpath and sparselint:coldcall`

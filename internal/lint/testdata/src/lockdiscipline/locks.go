@@ -80,3 +80,70 @@ func (g *guarded) suppressed() {
 	g.ch <- 1
 	g.mu.Unlock()
 }
+
+// ------------------------------------------------------------------ RWMutex
+
+type rwGuarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// readClean is the sanctioned read path: defer covers every return.
+func (g *rwGuarded) readClean() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+func (g *rwGuarded) readLeak(cond bool) int {
+	g.mu.RLock()
+	if cond {
+		return g.n // want `return while holding g.mu:r`
+	}
+	g.mu.RUnlock()
+	return 0
+}
+
+func (g *rwGuarded) upgradeDeadlock() {
+	g.mu.RLock()
+	g.mu.Lock() // want `upgrading g.mu from RLock to Lock self-deadlocks`
+	g.n++
+	g.mu.Unlock()
+	g.mu.RUnlock()
+}
+
+// upgradeClean is the legal upgrade: release the read lock, take the write
+// lock, revalidate.
+func (g *rwGuarded) upgradeClean(want int) {
+	g.mu.RLock()
+	seen := g.n
+	g.mu.RUnlock()
+	g.mu.Lock()
+	if g.n == seen && seen == want {
+		g.n++
+	}
+	g.mu.Unlock()
+}
+
+func (g *rwGuarded) recursiveRead() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.mu.RLock() // want `recursive RLock on g.mu`
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+func (g *rwGuarded) readUnderWrite() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mu.RLock() // want `RLock on g.mu while its write lock is held`
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+func (g *rwGuarded) relock() {
+	g.mu.Lock()
+	g.mu.Lock() // want `already locked on this path`
+	g.n++
+	g.mu.Unlock()
+}

@@ -183,6 +183,8 @@ func (p *bspPrepared) Run(ctx context.Context) error {
 // w, w+nw, w+2nw, ... — OpenMP static-for semantics, so a single heavy chain
 // (skewed nonzeros) stalls the barrier, the paper's BSP load-imbalance
 // pathology.
+//
+//sparselint:coldcall forks one goroutine batch per parallel superstep; fork+join is the BSP barrier overhead the paper measures, not hidden allocation
 func (p *bspPrepared) runParallel(ctx context.Context, cp *bspCallPlan) {
 	var wg sync.WaitGroup
 	var panicOnce sync.Once

@@ -120,8 +120,12 @@ type genericPrepared struct {
 	st *program.Store
 }
 
+// Run delegates to the runtime's one-shot path.
+//
+//sparselint:coldcall unamortized fallback: backends reached here rebuild per-run state (BSP plans, Legion-style dependence analysis) whose cost is the runtime overhead the benchmarks measure
 func (p *genericPrepared) Run(ctx context.Context) error { return p.r.Run(ctx, p.g, p.st) }
-func (p *genericPrepared) Close()                        {}
+
+func (p *genericPrepared) Close() {}
 
 // executorRun adapts a persistent sched.Executor to PreparedRun; it is the
 // shared Prepare implementation for the stealing backends. On Close the

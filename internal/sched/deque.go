@@ -30,6 +30,10 @@ func newRing(capacity int64) *ring {
 
 func (r *ring) get(i int64) int32    { return r.slots[i&r.mask].Load() }
 func (r *ring) put(i int64, v int32) { r.slots[i&r.mask].Store(v) }
+
+// grow doubles the ring, copying the live window.
+//
+//sparselint:coldcall amortized capacity doubling: runs O(log n) times over a deque's lifetime, behind Push's overflow check
 func (r *ring) grow(t, b int64) *ring {
 	nr := newRing((r.mask + 1) * 2)
 	for i := t; i < b; i++ {
@@ -47,7 +51,8 @@ func NewDeque() *Deque {
 
 // Push adds v at the bottom. Only the owner goroutine may call Push.
 //
-// sparselint:owner sparselint:hotpath
+//sparselint:owner
+//sparselint:hotpath
 func (d *Deque) Push(v int32) {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -62,7 +67,8 @@ func (d *Deque) Push(v int32) {
 
 // Pop removes and returns the bottom element. Only the owner may call Pop.
 //
-// sparselint:owner sparselint:hotpath
+//sparselint:owner
+//sparselint:hotpath
 func (d *Deque) Pop() (int32, bool) {
 	b := d.bottom.Load() - 1
 	r := d.ring.Load()
@@ -88,7 +94,7 @@ func (d *Deque) Pop() (int32, bool) {
 
 // Steal removes and returns the top element. Any goroutine may call Steal.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (d *Deque) Steal() (int32, bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()

@@ -146,6 +146,7 @@ type inbox struct {
 
 func (b *inbox) put(t int32) {
 	b.mu.Lock()
+	//lint:ignore sparselint/hotpathalloc buf reaches steady-state capacity during the first run; later appends reuse it (get compacts in place)
 	b.buf = append(b.buf, t)
 	b.size.Add(1)
 	b.mu.Unlock()
@@ -307,6 +308,7 @@ func (e *Executor) Run(ctx context.Context) error {
 	// Cancellation shuts the pool down exactly like a panic, minus the
 	// re-panic: workers observe total <= 0 and drain out.
 	if ctx.Done() != nil {
+		//lint:ignore sparselint/hotpathalloc one cancellation hook per Run, not per task; the uncancellable steady-state run allocates nothing
 		stop := context.AfterFunc(ctx, func() { e.halt() })
 		defer stop()
 	}
@@ -401,7 +403,7 @@ func (e *Executor) halt() {
 
 // rngNext advances worker w's private xorshift64 stream.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (e *Executor) rngNext(w int) uint64 {
 	s := e.rng[w].s
 	s ^= s << 13
@@ -416,7 +418,7 @@ func (e *Executor) rngNext(w int) uint64 {
 // deques with a steal-half burst, then remote inboxes). The returned tier
 // says which level supplied the task.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (e *Executor) take(w int) (int32, int, bool) {
 	// Own queue first, in the configured discipline.
 	if e.disc == LIFO {
@@ -502,7 +504,7 @@ func (e *Executor) take(w int) (int32, int, bool) {
 // foreign domain go to that domain's inbox — never another worker's deque,
 // which only its owner may Push.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (e *Executor) route(w int, t int32) {
 	if e.aff != nil && e.ndom > 1 {
 		if d := e.aff(t); d >= 0 {
@@ -547,7 +549,8 @@ func (e *Executor) recoverAbort() {
 // completes, is cancelled, or panics. It is the owning loop for worker w's
 // deque: all Push/Pop traffic happens on code reachable from here.
 //
-// sparselint:hotpath sparselint:ownerloop
+//sparselint:hotpath
+//sparselint:ownerloop
 func (e *Executor) runWorker(w int) {
 	defer e.recoverAbort()
 	spins := 0
@@ -594,7 +597,7 @@ func (e *Executor) runWorker(w int) {
 // tasks are routed in one batch with a single wake. Returns true when the
 // run's last task executed here.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (e *Executor) runChain(w int, t int32, tier int) bool {
 	st := &e.stats[w]
 	myDom := e.domOf[w]

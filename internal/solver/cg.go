@@ -182,7 +182,7 @@ func (c *CG) initState(b []float64) {
 // iterate executes one CG iteration (one full graph run) and returns the
 // residual norm it measured. Steady-state calls perform no heap allocations.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (c *CG) iterate(ctx context.Context, pr rt.PreparedRun) (float64, error) {
 	if err := pr.Run(ctx); err != nil {
 		return 0, err

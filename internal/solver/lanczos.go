@@ -190,7 +190,7 @@ func (l *Lanczos) initState(seed int64) {
 // returns stop=true when the process is done: breakdown (res.Converged set)
 // or the final iteration.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (l *Lanczos) iterate(ctx context.Context, pr rt.PreparedRun, it int, res *Result) (bool, error) {
 	if err := pr.Run(ctx); err != nil {
 		return true, err

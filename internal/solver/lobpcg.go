@@ -385,7 +385,7 @@ func (l *LOBPCG) initState(seed int64) error {
 // allocations: the graph, store, prepared executor, and Rayleigh–Ritz
 // workspace are all reused.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (l *LOBPCG) iterate(ctx context.Context, pr rt.PreparedRun) (float64, error) {
 	if err := pr.Run(ctx); err != nil {
 		return 0, err

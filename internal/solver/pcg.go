@@ -225,7 +225,7 @@ func (c *PCG) initState(b []float64) {
 // level-scheduled triangular solves) and returns the residual norm it
 // measured. Steady-state calls perform no heap allocations.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (c *PCG) iterate(ctx context.Context, pr rt.PreparedRun) (float64, error) {
 	if err := pr.Run(ctx); err != nil {
 		return 0, err

@@ -113,7 +113,7 @@ func (a *CSR) ToCSB(block int) *CSB { return a.ToCOO().ToCSB(block) }
 // the tile's coordinate and value arrays are re-sliced once so the per-entry
 // bounds checks on them vanish.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (a *CSB) BlockSpMV(y, x []float64, bi, bj int) {
 	k := a.BlockIndex(bi, bj)
 	lo, hi := a.BlkPtr[k], a.BlkPtr[k+1]
@@ -149,7 +149,7 @@ func (a *CSB) BlockSpMV(y, x []float64, bi, bj int) {
 // entry are independent outputs, so unrolling them is bit-identical to the
 // scalar loop. The generic path handles every other width.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (a *CSB) BlockSpMM(y, x []float64, n, bi, bj int) {
 	k := a.BlockIndex(bi, bj)
 	lo, hi := a.BlkPtr[k], a.BlkPtr[k+1]

@@ -18,7 +18,7 @@ import "fmt"
 // the solution of earlier rows (the level schedule guarantees this via task
 // dependencies). x and b may alias only when x == b.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (a *CSR) LowerSolveRange(x, b []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		s := b[i]
@@ -40,7 +40,7 @@ func (a *CSR) LowerSolveRange(x, b []float64, lo, hi int) {
 // Rows are processed in descending order; entries x[j] for j >= hi must
 // already hold the solution of later rows.
 //
-// sparselint:hotpath
+//sparselint:hotpath
 func (a *CSR) UpperSolveRange(x, b []float64, lo, hi int) {
 	for i := hi - 1; i >= lo; i-- {
 		s := b[i]

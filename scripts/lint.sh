@@ -2,6 +2,10 @@
 # Static-analysis gate: gofmt, go vet, and sparselint (the repo-specific
 # analyzers in internal/lint). Run from the repo root; `make lint` and
 # `make check` call this. Exits nonzero on the first failing stage.
+#
+# The sparselint stage writes its machine-readable report (the versioned
+# lint.Report schema) to lint-report.json and prints a per-analyzer summary
+# of finding counts and wall time.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,4 +22,21 @@ echo "lint: go vet"
 go vet ./...
 
 echo "lint: sparselint"
-go run ./cmd/sparselint -json ./...
+status=0
+go run ./cmd/sparselint -json ./... > lint-report.json || status=$?
+
+# Per-analyzer summary from the report artifact. The JSON is emitted by our
+# own encoder with a fixed field order (name, findings, wall_ms), so a
+# line-oriented awk pass is enough — no JSON tooling required.
+awk '
+    /"name":/     { gsub(/[",]/, "", $2); name = $2 }
+    /"findings":/ { gsub(/,/, "", $2); n = $2 }
+    /"wall_ms":/  { gsub(/,/, "", $2); printf "  %-14s %3d finding(s)  %8.1f ms\n", name, n, $2 }
+    /"total":/    { gsub(/,/, "", $2); total = $2 }
+    END           { printf "  %-14s %3d finding(s)  (report: lint-report.json)\n", "total", total }
+' lint-report.json
+
+if [ "$status" -ne 0 ]; then
+    echo "lint: sparselint findings (see lint-report.json)"
+    exit "$status"
+fi
