@@ -32,7 +32,7 @@ test:
 # they must also pass under the race detector (the hierarchical steal paths
 # in sched and rt, and the level-scheduled triangular wavefronts, especially).
 race:
-	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/graph/... ./internal/rt/... ./internal/solver/... ./internal/precond/... ./internal/topo/...
+	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/graph/... ./internal/rt/... ./internal/solver/... ./internal/precond/... ./internal/topo/... ./internal/roofline/...
 
 # Short fuzz session for the MatrixMarket parser (regression seeds always run
 # as part of `make test`).
@@ -43,10 +43,11 @@ fuzz:
 smoke:
 	./scripts/smoke.sh
 
-# Performance baseline: kernel microbenches, per-backend solver runs, and a
-# short serving-layer load run; updates BENCH_PR6.json (baseline preserved,
-# seeded from the BENCH_PR3.json trajectory on first run). Not part of
-# `check` — run it when touching hot paths.
+# Performance baseline: kernel microbenches (incl. the symmetric-storage
+# pairs, roofline-graded against the calibrated triad peak), per-backend
+# solver runs, and a short serving-layer load run; updates BENCH_PR8.json
+# (baseline preserved, seeded from the BENCH_PR6.json trajectory on first
+# run). Not part of `check` — run it when touching hot paths.
 bench:
 	./scripts/bench.sh
 

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"sparsetask/internal/matgen"
+	"sparsetask/internal/roofline"
 	"sparsetask/internal/sparse"
 )
 
@@ -69,6 +70,28 @@ func describe(name string, coo *sparse.COO, blockCount int) {
 			bf.BlockCount, bf.Block, bf.NonEmpty, bf.Total,
 			100*float64(bf.NonEmpty)/float64(bf.Total), bf.AvgPerNonEmpty, bf.MaxBlockNNZ)
 	}
+	describeSymmetry(st, coo)
+}
+
+// describeSymmetry projects what symmetry-exploiting SymCSB storage would
+// save: stored entries (lower triangle + diagonal) versus full nnz, and the
+// modeled SpMV traffic reduction (matrix stream halves, vector stream stays).
+func describeSymmetry(st sparse.Stats, coo *sparse.COO) {
+	if !st.Symmetric {
+		fmt.Printf("  symmetry: no (general CSB storage)\n")
+		return
+	}
+	stored := 0
+	for k := range coo.V {
+		if coo.I[k] >= coo.J[k] {
+			stored++
+		}
+	}
+	matRatio := roofline.MatrixBytesRatio(stored, st.NNZ)
+	spmvRatio := float64(roofline.SymSpMVBytes(st.Rows, st.Cols, stored)) /
+		float64(roofline.SpMVBytes(st.Rows, st.Cols, st.NNZ))
+	fmt.Printf("  symmetry: yes — SymCSB stores %d of %d entries: %.0f%% of matrix bytes, ~%.0f%% of modeled SpMV traffic\n",
+		stored, st.NNZ, 100*matRatio, 100*spmvRatio)
 }
 
 func fatal(err error) {

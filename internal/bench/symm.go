@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sparsetask/internal/matgen"
+	"sparsetask/internal/roofline"
+	"sparsetask/internal/rt"
+	"sparsetask/internal/solver"
+	"sparsetask/internal/sparse"
+)
+
+// runSymm measures what symmetry-exploiting SymCSB storage buys over the
+// general CSB path, executing for real (not simulated): the sequential SpMV
+// kernels head to head, and a fixed-work Lanczos run per storage format on
+// the DeepSparse backend so the speedup includes the conflict-free task
+// scheduling (waves or private accumulators), not just the kernel bodies.
+// Alongside the timings it reports the roofline byte model's view — the
+// stored/full nonzero ratio and the modeled SpMV traffic ratio — which is the
+// quantity the PR-8 acceptance bound (matrix bytes ≤ ~0.55 of general) is
+// stated over.
+//
+// Workloads are the preset-scaled seeded SPD Laplacians (the pcg experiment's
+// sizing) plus symmetric suite matrices (default: the nlpkkt160 KKT analog;
+// override with -matrices). Asymmetric selections are reported and skipped
+// rather than failing the run.
+func runSymm(cfg *Config) (*Report, error) {
+	r := newReport("symm", "symmetric (SymCSB) vs general storage: measured speedup and streamed matrix bytes",
+		"matrix", "n", "nnz", "stored", "mat ratio", "SpMV model", "SpMV", "Lanczos", "schedule")
+
+	type workload struct {
+		name string
+		coo  *sparse.COO
+	}
+	var loads []workload
+	// SPD Laplacian sizes scale with the preset, mirroring the pcg experiment.
+	const maxRows = 120_000
+	var sizes []int
+	for _, mult := range []int{4, 16, 64} {
+		n := mult * cfg.Preset.MinRows
+		if n > maxRows {
+			n = maxRows
+		}
+		if len(sizes) == 0 || n != sizes[len(sizes)-1] {
+			sizes = append(sizes, n)
+		}
+	}
+	for _, n := range sizes {
+		loads = append(loads, workload{fmt.Sprintf("spd_laplace_%d", n), matgen.SPDLaplacian(n, cfg.Seed)})
+	}
+	names := cfg.Matrices
+	if len(names) == 0 {
+		names = []string{"nlpkkt160"}
+	}
+	for _, name := range names {
+		spec, err := matgen.SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		loads = append(loads, workload{name, spec.Build(cfg.Preset, cfg.Seed)})
+	}
+
+	rtm := rt.NewDeepSparse(rt.Options{})
+	lanczosK := cfg.iters(12)
+	for _, wl := range loads {
+		coo := wl.coo
+		n := coo.Rows
+		// Same block-sizing rule as the pcg experiment: ~96 row bands, at
+		// least 64 rows each, so tiles carry real per-task work.
+		block := (n + 95) / 96
+		if block < 64 {
+			block = 64
+		}
+		sym, err := coo.ToSymCSB(block)
+		if err == sparse.ErrNotSymmetric {
+			r.note("%s: not symmetric, skipped", wl.name)
+			continue
+		} else if err != nil {
+			return nil, fmt.Errorf("symm: %s: %w", wl.name, err)
+		}
+		csb := coo.ToCSB(block)
+
+		// Kernel head-to-head: the sequential reference SpMVs, identical
+		// except for storage format.
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = 1 + float64(i%7)*0.25
+		}
+		genNs := timePerOp(func() { csb.SpMV(y, x) })
+		symNs := timePerOp(func() { sym.SpMV(y, x) })
+
+		// Solver head-to-head: k Lanczos iterations per storage format on a
+		// real backend, so the symmetric path's wave/accumulator task
+		// scheduling is part of what is timed. Fixed-iteration work, so the
+		// comparison holds for indefinite matrices (the KKT analogs) too.
+		genSolve, err := timeLanczos(csb, rtm, lanczosK, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("symm: %s general: %w", wl.name, err)
+		}
+		symSolve, err := timeLanczos(sym, rtm, lanczosK, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("symm: %s symmetric: %w", wl.name, err)
+		}
+
+		matRatio := roofline.MatrixBytesRatio(sym.NNZ(), coo.NNZ())
+		spmvRatio := float64(roofline.SymSpMVBytes(n, n, sym.NNZ())) /
+			float64(roofline.SpMVBytes(n, n, coo.NNZ()))
+		sched := fmt.Sprintf("%d waves", sym.Sched.NumWaves)
+		if sym.Sched.Fallback {
+			sched = fmt.Sprintf("acc x%d", sym.Sched.Groups)
+		}
+		r.addRow(wl.name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", coo.NNZ()),
+			fmt.Sprintf("%d", sym.NNZ()),
+			fmt.Sprintf("%.2f", matRatio), fmt.Sprintf("%.2f", spmvRatio),
+			fmtX(genNs/symNs), fmtX(genSolve/symSolve), sched)
+		r.Metrics["bytes_ratio/"+wl.name] = matRatio
+		r.Metrics["spmv_model_ratio/"+wl.name] = spmvRatio
+		r.Metrics["spmv_speedup/"+wl.name] = genNs / symNs
+		r.Metrics["lanczos_speedup/"+wl.name] = genSolve / symSolve
+	}
+	r.note("mat ratio = stored/full nnz (the streamed matrix bytes vs general; acceptance <= ~0.55); SpMV model adds the vector traffic")
+	r.note("SpMV = sequential kernel speedup; Lanczos = %d fixed iterations on exec/deepsparse incl. wave/accumulator scheduling", lanczosK)
+	return r, nil
+}
+
+// timePerOp measures f's wall time per call: one untimed warmup, then
+// repetitions until ~25ms have elapsed.
+func timePerOp(f func()) float64 {
+	f()
+	start := time.Now()
+	reps := 0
+	for time.Since(start) < 25*time.Millisecond {
+		f()
+		reps++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}
+
+// timeLanczos runs k Lanczos iterations of a on rtm and returns the wall
+// nanoseconds per iteration (one untimed warmup run pays setup and paging).
+func timeLanczos(a sparse.Matrix, rtm rt.Runtime, k int, seed int64) (float64, error) {
+	l, err := solver.NewLanczos(a, k)
+	if err != nil {
+		return 0, err
+	}
+	l.Tol = 0 // fixed work: never stop early on invariant-subspace luck
+	if _, err := l.Run(context.Background(), rtm, seed); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := l.Run(context.Background(), rtm, seed); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(k), nil
+}

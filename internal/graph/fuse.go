@@ -54,7 +54,7 @@ func Fuse(g *TDG) *TDG {
 
 	// Build new tasks in original (topological) order, one per chain head.
 	newID := make([]int32, n)
-	out := &TDG{Prog: g.Prog, Opt: g.Opt, Mats: g.Mats}
+	out := &TDG{Prog: g.Prog, Opt: g.Opt, Mats: g.Mats, Syms: g.Syms}
 	for i := range g.Tasks {
 		t := &g.Tasks[i]
 		if head[i] != int32(i) {

@@ -57,11 +57,26 @@ const (
 	// reads the output blocks its rows reference, so RAW edges reproduce the
 	// level schedule and one level is one rank of independent tasks.
 	TTrsv
+	// TSymTile applies stored SymCSB tile (P,Q), Q <= P, to both output
+	// bands: Y[P] (+)= T·X[Q] and, off the diagonal, Y[Q] (+)= Tᵀ·X[P]
+	// (wave-mode symmetric SpMV; diagonal tiles have P == Q and write one
+	// band). First/FirstQ mark the first writer of each band.
+	TSymTile
+	// TSymTileAcc is the fallback-mode variant: the direct half goes to
+	// Y[P], the transposed half to the private accumulator of the tile
+	// row's group at band-Q offset (First/FirstQ zero the respective
+	// destinations).
+	TSymTileAcc
+	// TSymReduce folds the used accumulator groups of band P back into
+	// Y[P] in ascending group order (First zeroes Y[P] first when no direct
+	// writer preceded it). Affinity-stamped to band P.
+	TSymReduce
 )
 
 var taskKindNames = [...]string{
 	"SpMM", "SpMM0", "SpMMbuf", "SpMMred", "XY", "XTYp", "XTYr",
 	"AXPBY", "SCALE", "DOTp", "DOTr", "SMALL", "COPY", "DSCALE", "TRSV",
+	"SYMM", "SYMMacc", "SYMMred",
 }
 
 func (k TaskKind) String() string {
@@ -89,6 +104,7 @@ const (
 	spaceSpMMBuf
 	spaceScratch
 	spaceTri
+	spaceSymAcc
 )
 
 func pack(space uint64, owner int32, part int64) uint64 {
@@ -125,15 +141,26 @@ func ScratchRegion(core int) uint64 { return pack(spaceScratch, int32(core), 0) 
 // TriRegion identifies row block bi of triangular-factor operand op.
 func TriRegion(op program.OperandID, bi int) uint64 { return pack(spaceTri, int32(op), int64(bi)) }
 
+// SymAccRegion identifies row band bj of the fallback-mode private
+// accumulator of symmetric-SpMV call for group g.
+func SymAccRegion(call, g, bj, nbr int) uint64 {
+	return pack(spaceSymAcc, int32(call), int64(g)*int64(nbr)+int64(bj))
+}
+
 // Task is one schedulable unit. Deps lists predecessor task ids; Succs is
 // filled in after construction. P is the output row partition (bi) and Q the
 // column partition (bj) for tile tasks, -1 otherwise.
 type Task struct {
-	ID     int32
-	Kind   TaskKind
-	Call   int32 // index into Program.Calls
-	P, Q   int32
-	First  bool // TSpMMTile: overwrite instead of accumulate
+	ID    int32
+	Kind  TaskKind
+	Call  int32 // index into Program.Calls
+	P, Q  int32
+	First bool // TSpMMTile/TSym*: overwrite band P instead of accumulating
+	// FirstQ marks symmetric tile tasks whose transposed scatter is the
+	// first writer of its destination (band Q of the output in wave mode,
+	// the group accumulator's band-Q region in fallback mode): the kernel
+	// zeroes that destination before scattering.
+	FirstQ bool
 	Deps   []int32
 	Succs  []int32
 	Flops  int64
@@ -158,7 +185,10 @@ type TDG struct {
 	Opt  Options
 	// Mats holds the CSB matrices the graph was built against, so executors
 	// can recover tile occupancy without re-deriving it.
-	Mats  map[program.OperandID]*sparse.CSB
+	Mats map[program.OperandID]*sparse.CSB
+	// Syms holds the SymCSB matrices behind OpSymSparse operands
+	// (Options.Syms, kept here for the same reason as Mats).
+	Syms  map[program.OperandID]*sparse.SymCSB
 	Tasks []Task
 	// Roots are tasks with no dependencies.
 	Roots []int32
@@ -180,6 +210,12 @@ type Options struct {
 	// expansion skips re-scanning the factor's rows; the lists must match
 	// the program block size.
 	TriDeps map[program.OperandID][][]int32
+	// Syms supplies the SymCSB matrix behind each OpSymSparse operand
+	// referenced by a CSpMMSym call; its cached SymSchedule drives the
+	// wave/accumulator task emission. Symmetric expansion always skips
+	// empty stored tiles (they contribute neither half), regardless of
+	// SkipEmpty.
+	Syms map[program.OperandID]*sparse.SymCSB
 }
 
 // DefaultOptions returns the configuration used by the paper's main results.
@@ -225,7 +261,7 @@ type builder struct {
 // tasks exist).
 func Build(prog *program.Program, mats map[program.OperandID]*sparse.CSB, opt Options) (*TDG, error) {
 	b := &builder{
-		g:       &TDG{Prog: prog, Opt: opt, Mats: mats},
+		g:       &TDG{Prog: prog, Opt: opt, Mats: mats, Syms: opt.Syms},
 		lastW:   make(map[uint64]int32),
 		readers: make(map[uint64][]int32),
 		opt:     opt,
@@ -319,6 +355,8 @@ func (b *builder) expand(ci int32, c *program.Call) error {
 		b.expandDiagScale(ci, c)
 	case program.CSpTrsv:
 		return b.expandSpTrsv(ci, c)
+	case program.CSpMMSym:
+		return b.expandSpMMSym(ci, c)
 	default:
 		return fmt.Errorf("unknown call kind %v", c.Kind)
 	}

@@ -17,6 +17,7 @@ var determinismScope = []string{
 	"internal/program",
 	"internal/matgen",
 	"internal/precond",
+	"internal/roofline",
 }
 
 // determinismRandAllowed are the explicitly-seeded constructors: a

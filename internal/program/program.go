@@ -36,6 +36,9 @@ const (
 	// incomplete Cholesky), 1D-partitioned into row blocks like OpVec. It is
 	// read-only to programs: only CSpTrsv consumes it.
 	OpTri
+	// OpSymSparse is a symmetric sparse input matrix stored as SymCSB (lower
+	// triangle + diagonal tiles only); only CSpMMSym consumes it.
+	OpSymSparse
 )
 
 func (k OpKind) String() string {
@@ -50,6 +53,8 @@ func (k OpKind) String() string {
 		return "scalar"
 	case OpTri:
 		return "tri"
+	case OpSymSparse:
+		return "symsparse"
 	}
 	return fmt.Sprintf("OpKind(%d)", uint8(k))
 }
@@ -104,6 +109,12 @@ const (
 	// dependencies follow the factor's level structure — the irregular DAG
 	// the level-scheduled incomplete-Cholesky literature targets.
 	CSpTrsv
+	// CSpMMSym: Out = A·B where A is OpSymSparse and B, Out are OpVec. Each
+	// stored tile task writes row band bi directly and band bj through the
+	// transposed scatter; expansion resolves the write conflict with the
+	// matrix's cached SymSchedule (conflict-free waves, or private
+	// accumulators plus reduction tasks).
+	CSpMMSym
 )
 
 func (k CallKind) String() string {
@@ -128,6 +139,8 @@ func (k CallKind) String() string {
 		return "DSCALE"
 	case CSpTrsv:
 		return "TRSV"
+	case CSpMMSym:
+		return "SpMMsym"
 	}
 	return fmt.Sprintf("CallKind(%d)", uint8(k))
 }
@@ -203,6 +216,12 @@ func (p *Program) Tri(name string) OperandID {
 	return p.addOp(name, OpTri, p.M, p.M)
 }
 
+// SymSparse declares a symmetric sparse matrix operand (square, M×M,
+// SymCSB-backed).
+func (p *Program) SymSparse(name string) OperandID {
+	return p.addOp(name, OpSymSparse, p.M, p.M)
+}
+
 // Small declares an r×c small dense operand.
 func (p *Program) Small(name string, r, c int) OperandID {
 	return p.addOp(name, OpSmall, r, c)
@@ -260,6 +279,21 @@ func (p *Program) SpMMReduceBased(out, a, x OperandID) *Program {
 	p.SpMM(out, a, x)
 	p.Calls[len(p.Calls)-1].ReduceSpMM = true
 	p.Calls[len(p.Calls)-1].Name = "SpMM-red"
+	return p
+}
+
+// SpMMSym appends Out = A·X where A is a symmetric sparse operand and
+// X/Out are vecs with equal widths. Expansion consumes the SymCSB attached
+// via graph.Options.Syms; its cached schedule decides wave vs accumulator
+// task emission.
+func (p *Program) SpMMSym(out, a, x OperandID) *Program {
+	p.check(a, OpSymSparse, "SpMMSym")
+	ox := p.check(x, OpVec, "SpMMSym")
+	oo := p.check(out, OpVec, "SpMMSym")
+	if ox.Cols != oo.Cols {
+		panic(fmt.Sprintf("program: SpMMSym width mismatch: %s has %d cols, %s has %d", ox.Name, ox.Cols, oo.Name, oo.Cols))
+	}
+	p.Calls = append(p.Calls, Call{Kind: CSpMMSym, Name: "SpMMsym", Out: out, A: a, B: x, Alpha: 1})
 	return p
 }
 

@@ -15,6 +15,9 @@ import (
 type Store struct {
 	P       *Program
 	SparseM map[OperandID]*sparse.CSB
+	// SymM holds the SymCSB matrices behind OpSymSparse operands. Like
+	// SparseM it is populated before execution and read-only afterwards.
+	SymM map[OperandID]*sparse.SymCSB
 	// TriM holds the CSR triangular factors behind OpTri operands. Like
 	// SparseM it is populated before execution and read-only afterwards.
 	TriM map[OperandID]*sparse.CSR
@@ -29,6 +32,11 @@ type Store struct {
 	// no hashing and no lock-free-read caveats.
 	partials [][]float64
 	spmmBuf  [][]float64
+	// symAcc holds the fallback-mode private accumulators of CSpMMSym
+	// calls, indexed call*sparse.SymAccGroups+group; each is a full output
+	// buffer (M·n). Allocated by SetSymSparse (the matrix's schedule decides
+	// whether fallback buffers are needed), fixed before execution.
+	symAcc [][]float64
 }
 
 // NewStore allocates backing storage for every operand of p except sparse
@@ -37,12 +45,14 @@ func NewStore(p *Program) *Store {
 	st := &Store{
 		P:        p,
 		SparseM:  make(map[OperandID]*sparse.CSB),
+		SymM:     make(map[OperandID]*sparse.SymCSB),
 		TriM:     make(map[OperandID]*sparse.CSR),
 		Vec:      make([][]float64, len(p.Ops)),
 		Small:    make([][]float64, len(p.Ops)),
 		Scalars:  make([]float64, len(p.Ops)),
 		partials: make([][]float64, len(p.Calls)*p.NP),
 		spmmBuf:  make([][]float64, len(p.Calls)*p.NP),
+		symAcc:   make([][]float64, len(p.Calls)*sparse.SymAccGroups),
 	}
 	for _, o := range p.Ops {
 		switch o.Kind {
@@ -96,6 +106,50 @@ func (st *Store) SetSparse(id OperandID, a *sparse.CSB) {
 		panic(fmt.Sprintf("program: CSB rows %d != program rows %d", a.Rows, st.P.M))
 	}
 	st.SparseM[id] = a
+}
+
+// SetSymSparse attaches the SymCSB matrix for a symmetric sparse operand.
+// When the matrix's schedule uses the fallback accumulator path, the private
+// accumulator buffers of every CSpMMSym call over this operand are allocated
+// here (setup time, off the hot path) so tasks never mutate the tables.
+func (st *Store) SetSymSparse(id OperandID, a *sparse.SymCSB) {
+	o := st.P.Op(id)
+	if o.Kind != OpSymSparse {
+		panic(fmt.Sprintf("program: SetSymSparse on %s operand %s", o.Kind, o.Name))
+	}
+	if a.Block != st.P.Block {
+		panic(fmt.Sprintf("program: SymCSB block %d != program block %d", a.Block, st.P.Block))
+	}
+	if a.Rows != st.P.M {
+		panic(fmt.Sprintf("program: SymCSB rows %d != program rows %d", a.Rows, st.P.M))
+	}
+	st.SymM[id] = a
+	if !a.Sched.Fallback {
+		return
+	}
+	for ci, c := range st.P.Calls {
+		if c.Kind != CSpMMSym || c.A != id {
+			continue
+		}
+		w := st.P.Op(c.Out).Cols
+		for g := 0; g < a.Sched.Groups; g++ {
+			if st.symAcc[ci*sparse.SymAccGroups+g] == nil {
+				st.symAcc[ci*sparse.SymAccGroups+g] = make([]float64, st.P.M*w)
+			}
+		}
+	}
+}
+
+// SymAcc returns the fallback-mode private accumulator of CSpMMSym call
+// callIdx for group g: a full-output-height buffer. Concurrent callers only
+// read the flat table, which is safe because entries are fixed after
+// SetSymSparse.
+func (st *Store) SymAcc(callIdx, g int) []float64 {
+	b := st.symAcc[callIdx*sparse.SymAccGroups+g]
+	if b == nil {
+		panic(fmt.Sprintf("program: no symmetric accumulator for call %d group %d", callIdx, g))
+	}
+	return b
 }
 
 // SetTri attaches the CSR factor for a triangular operand. The factor must

@@ -50,13 +50,17 @@ func buildBSPPlan(g *graph.TDG) []bspCallPlan {
 		if len(ids) == 0 {
 			continue
 		}
-		if g.Prog.Calls[ci].Kind == program.CSpTrsv {
-			// Triangular solves carry dependencies *within* the call: block
-			// chains are not independent, so the flat chains-plus-barrier
-			// shape would race. Split the call into its dependency levels and
-			// barrier between them — the classic OpenMP level-scheduled
-			// solve, and the BSP cost model the paper's baselines imply:
-			// one full barrier per wavefront.
+		if k := g.Prog.Calls[ci].Kind; k == program.CSpTrsv || k == program.CSpMMSym {
+			// These calls carry dependencies *within* the call: triangular
+			// block chains follow the factor's level DAG, and symmetric SpMV
+			// tiles write two row bands (per-P chains would race on the
+			// transposed band or a shared accumulator region). Split the
+			// call into its dependency levels and barrier between them —
+			// the classic OpenMP level-scheduled shape. Tasks of one level
+			// share no intra-call edge, and every write conflict has an
+			// edge, so levels are conflict-free. Level order equals chain
+			// order per region, so results stay bit-identical to the AMT
+			// runtimes'.
 			plan = append(plan, bspTrsvLevels(g, ids)...)
 			continue
 		}

@@ -99,20 +99,35 @@ func (s *Server) execute(job *Job) {
 	s.metrics.Total.Observe(fin.Sub(job.submitted))
 }
 
-// run materializes the matrix, resolves a tiling plan, and solves.
+// run materializes the matrix, resolves a tiling plan, and solves. The
+// matrix's structural stats are computed once here and feed both the plan key
+// and the storage choice: symmetric matrices are stored as SymCSB (lower
+// triangle + diagonal) and solved through the symmetry-exploiting kernels.
 func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	planStart := time.Now()
 	coo, err := spec.Matrix.buildMatrix()
 	if err != nil {
 		return nil, fmt.Errorf("matrix: %w", err)
 	}
+	csr := coo.ToCSR()
+	stats := sparse.ComputeStats(csr)
 	workers := s.effectiveWorkers(spec)
-	plan, source, err := s.resolvePlan(spec, coo, workers)
+	plan, source, err := s.resolvePlan(spec, coo, stats, workers)
 	s.metrics.PlanStage.Observe(time.Since(planStart))
 	if err != nil {
 		return nil, fmt.Errorf("plan: %w", err)
 	}
-	csb := coo.ToCSB(plan.Block)
+	var mat sparse.Matrix
+	if stats.Symmetric {
+		sym, err := coo.ToSymCSB(plan.Block)
+		if err != nil {
+			return nil, fmt.Errorf("symcsb: %w", err)
+		}
+		mat = sym
+	} else {
+		mat = coo.ToCSB(plan.Block)
+	}
+	rows := coo.Rows
 	rtm := s.runtimeFor(spec.Backend, workers)
 
 	seed := spec.Seed
@@ -120,11 +135,12 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		seed = defaultJobSeed
 	}
 	res := &JobResult{
-		MatrixRows: coo.Rows,
+		MatrixRows: rows,
 		MatrixNNZ:  coo.NNZ(),
 		Block:      plan.Block,
 		BlockCount: plan.BlockCount,
 		PlanSource: source,
+		SymStorage: stats.Symmetric,
 	}
 
 	solveStart := time.Now()
@@ -134,10 +150,10 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		if k <= 0 {
 			k = defaultSolverK
 		}
-		if k > csb.Rows {
-			k = csb.Rows
+		if k > rows {
+			k = rows
 		}
-		l, err := solver.NewLanczos(csb, k)
+		l, err := solver.NewLanczos(mat, k)
 		if err != nil {
 			return nil, err
 		}
@@ -154,13 +170,13 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		if k <= 0 {
 			k = defaultSolverK
 		}
-		if 3*k > csb.Rows {
-			k = csb.Rows / 3
+		if 3*k > rows {
+			k = rows / 3
 			if k < 1 {
-				return nil, fmt.Errorf("matrix with %d rows too small for lobpcg", csb.Rows)
+				return nil, fmt.Errorf("matrix with %d rows too small for lobpcg", rows)
 			}
 		}
-		l, err := solver.NewLOBPCG(csb, k)
+		l, err := solver.NewLOBPCG(mat, k)
 		if err != nil {
 			return nil, err
 		}
@@ -173,11 +189,11 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		res.Residual = r.Residual
 		res.Converged = r.Converged
 	case "cg":
-		c, err := solver.NewCG(csb)
+		c, err := solver.NewCG(mat)
 		if err != nil {
 			return nil, err
 		}
-		b := solver.RandomRHS(csb.Rows, seed)
+		b := solver.RandomRHS(rows, seed)
 		_, relres, iters, err := c.Solve(ctx, rtm, b)
 		if err != nil {
 			return nil, fmt.Errorf("cg after %d iterations (relres %.3e): %w", iters, relres, err)
@@ -186,19 +202,19 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		res.Residual = relres
 		res.Converged = true
 	case "pcg":
-		f, source, err := s.resolveFactors(coo)
+		f, source, err := s.resolveFactors(csr, stats)
 		if err != nil {
 			return nil, err
 		}
-		low, up, analysed := f.LevelsFor(csb.Block)
+		low, up, analysed := f.LevelsFor(plan.Block)
 		if analysed {
 			s.metrics.LevelAnalyses.Add(1)
 		}
-		c, err := solver.NewPCGWithLevels(csb, f.M, low, up)
+		c, err := solver.NewPCGWithLevels(mat, f.M, low, up)
 		if err != nil {
 			return nil, err
 		}
-		b := solver.RandomRHS(csb.Rows, seed)
+		b := solver.RandomRHS(rows, seed)
 		_, relres, iters, err := c.Solve(ctx, rtm, b)
 		if err != nil {
 			return nil, fmt.Errorf("pcg after %d iterations (relres %.3e): %w", iters, relres, err)
@@ -244,7 +260,7 @@ type runtimeKey struct {
 // under the matrix's structural fingerprint. Matrices too small to tune get
 // a single-tile fallback (also cached, so they only pay the failed sweep
 // once).
-func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, workers int) (Plan, string, error) {
+func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, stats sparse.Stats, workers int) (Plan, string, error) {
 	rows := coo.Rows
 	if spec.Block > 0 {
 		return Plan{
@@ -252,13 +268,13 @@ func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, workers int) (Plan, 
 			BlockCount: (rows + spec.Block - 1) / spec.Block,
 		}, "request", nil
 	}
-	stats := sparse.ComputeStats(coo.ToCSR())
 	key := PlanKey{
 		Fingerprint: stats.Fingerprint(),
 		Solver:      spec.Solver,
 		Backend:     spec.Backend,
 		Workers:     workers,
 		Topo:        s.topo.Name,
+		SymStorage:  stats.Symmetric,
 	}
 	if p, ok := s.plans.Get(key); ok {
 		return p, "cache", nil
@@ -284,10 +300,11 @@ func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, workers int) (Plan, 
 // under the matrix's structural fingerprint, or a fresh IC(0) factorization
 // (Jacobi on breakdown) that is then cached. Unlike the plan key, the factor
 // key is the fingerprint alone — the factors depend only on the matrix, so
-// they are shared across backends, worker counts, and tilings.
-func (s *Server) resolveFactors(coo *sparse.COO) (*Factorization, string, error) {
-	csr := coo.ToCSR()
-	fp := sparse.ComputeStats(csr).Fingerprint()
+// they are shared across backends, worker counts, and tilings. The
+// fingerprint hashes the symmetry bit, so symmetric-storage jobs never share
+// factors with a general matrix that merely collides structurally.
+func (s *Server) resolveFactors(csr *sparse.CSR, stats sparse.Stats) (*Factorization, string, error) {
+	fp := stats.Fingerprint()
 	if f, ok := s.factors.Get(fp); ok {
 		return f, "cache", nil
 	}

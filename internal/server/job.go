@@ -150,6 +150,9 @@ type JobResult struct {
 	// Block and BlockCount describe the CSB tiling the job executed with.
 	Block      int `json:"block"`
 	BlockCount int `json:"block_count"`
+	// SymStorage reports whether the solve ran from symmetric (SymCSB)
+	// lower-triangle storage with the symmetry-exploiting kernels.
+	SymStorage bool `json:"sym_storage,omitempty"`
 	// PlanSource records where the tiling came from: "request" (explicit
 	// block in the spec), "cache" (plan-cache hit), "autotune" (fresh
 	// six-trial sweep), or "fallback" (matrix too small to tune).

@@ -17,6 +17,13 @@ type PlanKey struct {
 	Backend     string
 	Workers     int
 	Topo        string
+	// SymStorage records whether the job solves from symmetric (SymCSB)
+	// storage: the symmetric kernels halve the streamed matrix bytes and
+	// change the task shape, so the tuned block size must not be shared
+	// with general-storage runs of a structurally identical matrix. (The
+	// fingerprint also hashes the symmetry bit; the explicit field keeps
+	// the separation even for colliding fingerprints.)
+	SymStorage bool
 }
 
 // Plan is the memoized outcome of the §5.4 six-trial autotune sweep.

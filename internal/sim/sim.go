@@ -97,6 +97,24 @@ func (s *Sim) PlaceFirstTouch(g *graph.TDG, workers int) {
 					s.H.Touch(domOf(bi), s.L.Base(graph.TileRegion(o.ID, bi, bj, a.NBC), bytes), bytes)
 				}
 			}
+		case program.OpSymSparse:
+			// Symmetric storage: only the lower triangle plus diagonal exists;
+			// each stored tile lands in its row band's domain, like the
+			// general case.
+			a, ok := g.Syms[o.ID]
+			if !ok {
+				continue
+			}
+			for bi := 0; bi < a.NBR; bi++ {
+				for bj := 0; bj <= bi; bj++ {
+					nnz := a.TileNNZ(bi, bj)
+					if nnz == 0 {
+						continue
+					}
+					bytes := int64(nnz) * 16
+					s.H.Touch(domOf(bi), s.L.Base(graph.TileRegion(o.ID, bi, bj, a.NBR), bytes), bytes)
+				}
+			}
 		}
 	}
 	// Partial buffers and reduce-mode SpMM buffers also follow their

@@ -38,7 +38,7 @@ import (
 // faithful without adding bespoke kernels, the scalar multiplies are folded
 // into ScaleInv and Axpby by maintaining scaled copies.
 type CG struct {
-	A *sparse.CSB
+	A sparse.Matrix
 	// Tol is the convergence threshold on ‖r‖/‖b‖.
 	Tol     float64
 	MaxIter int
@@ -56,15 +56,21 @@ type CG struct {
 	opRnorm                 program.OperandID
 }
 
-// NewCG builds the solver and its single-iteration TDG.
-func NewCG(a *sparse.CSB) (*CG, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("solver: CG needs a square matrix, got %dx%d", a.Rows, a.Cols)
+// NewCG builds the solver and its single-iteration TDG. A *sparse.SymCSB
+// matrix routes the SpMV through the symmetry-exploiting kernels.
+func NewCG(a sparse.Matrix) (*CG, error) {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("solver: CG needs a square matrix, got %dx%d", rows, cols)
 	}
-	c := &CG{A: a, Tol: 1e-10, MaxIter: 10 * a.Rows}
-	p := program.New(a.Rows, a.Block)
+	c := &CG{A: a, Tol: 1e-10, MaxIter: 10 * rows}
+	p := program.New(rows, a.BlockSize())
 	c.prog = p
-	c.opA = p.Sparse("A")
+	w, err := wireMatrix(p, a)
+	if err != nil {
+		return nil, err
+	}
+	c.opA = w.op
 	c.opX = p.Vec("x", 1)
 	c.opP = p.Vec("p", 1)
 	c.opQ = p.Vec("q", 1)
@@ -80,7 +86,7 @@ func NewCG(a *sparse.CSB) (*CG, error) {
 	c.opRnorm = p.Scalar("rnorm")
 
 	// q = A·p ; pq = pᵀq.
-	p.SpMM(c.opQ, c.opA, c.opP)
+	w.spmm(p, c.opQ, c.opP)
 	p.Dot(c.opPQ, c.opP, c.opQ)
 	// α = rr/pq computed as its inverse so ScaleInv can apply it:
 	// alpha_inv = pq/rr.
@@ -117,13 +123,14 @@ func NewCG(a *sparse.CSB) (*CG, error) {
 	p.ScaleInv(c.opBP, c.opP, c.opBetaInv).MarkIndexLaunch()
 	p.Axpby(c.opP, 1, c.opR, 1, c.opBP)
 
-	g, err := graph.Build(p, map[program.OperandID]*sparse.CSB{c.opA: a}, graph.DefaultOptions())
+	opt := graph.DefaultOptions()
+	g, err := graph.Build(p, w.graphInputs(&opt), opt)
 	if err != nil {
 		return nil, err
 	}
 	c.g = g
 	c.st = program.NewStore(p)
-	c.st.SetSparse(c.opA, a)
+	w.attach(c.st)
 	return c, nil
 }
 
@@ -141,7 +148,7 @@ func (c *CG) Solve(ctx context.Context, r rt.Runtime, b []float64) ([]float64, f
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	m := c.A.Rows
+	m, _ := c.A.Dims()
 	if len(b) != m {
 		return nil, 0, 0, fmt.Errorf("solver: CG rhs has length %d, want %d", len(b), m)
 	}

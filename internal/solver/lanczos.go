@@ -51,7 +51,7 @@ type Result struct {
 //
 // The host then appends qn as basis column i and advances q ← qn.
 type Lanczos struct {
-	A *sparse.CSB
+	A sparse.Matrix
 	K int
 	// Tol stops early when |β| < Tol (invariant subspace found).
 	Tol float64
@@ -71,24 +71,30 @@ type Lanczos struct {
 	beta  []float64
 }
 
-// NewLanczos builds the solver and its single-iteration TDG.
-func NewLanczos(a *sparse.CSB, k int) (*Lanczos, error) {
+// NewLanczos builds the solver and its single-iteration TDG. A *sparse.SymCSB
+// matrix routes the SpMV through the symmetry-exploiting kernels.
+func NewLanczos(a sparse.Matrix, k int) (*Lanczos, error) {
 	if k < 1 {
 		return nil, errors.New("solver: Lanczos needs k >= 1")
 	}
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("solver: Lanczos needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	rows, cols := a.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("solver: Lanczos needs a square matrix, got %dx%d", rows, cols)
 	}
-	if k > a.Rows {
-		return nil, fmt.Errorf("solver: k=%d exceeds matrix dimension %d", k, a.Rows)
+	if k > rows {
+		return nil, fmt.Errorf("solver: k=%d exceeds matrix dimension %d", k, rows)
 	}
 	l := &Lanczos{A: a, K: k, Tol: 1e-10}
 	// Full capacity up front so per-iteration appends never reallocate.
 	l.alpha = make([]float64, 0, k)
 	l.beta = make([]float64, 0, k)
-	p := program.New(a.Rows, a.Block)
+	p := program.New(rows, a.BlockSize())
 	l.prog = p
-	l.opA = p.Sparse("A")
+	w, err := wireMatrix(p, a)
+	if err != nil {
+		return nil, err
+	}
+	l.opA = w.op
 	l.opQ = p.Vec("q", 1)
 	l.opZ = p.Vec("z", 1)
 	l.opQb = p.Vec("Qb", k)
@@ -97,7 +103,7 @@ func NewLanczos(a *sparse.CSB, k int) (*Lanczos, error) {
 	l.opBt = p.Scalar("beta")
 	l.opQn = p.Vec("qn", 1)
 
-	p.SpMM(l.opZ, l.opA, l.opQ)
+	w.spmm(p, l.opZ, l.opQ)
 	// Two classical Gram–Schmidt passes ("twice is enough"): a single XTY+XY
 	// pair leaves O(ε·‖z₀‖/β) orthogonality error, which destroys the
 	// recurrence once β gets small near Krylov exhaustion.
@@ -108,13 +114,14 @@ func NewLanczos(a *sparse.CSB, k int) (*Lanczos, error) {
 	p.Norm(l.opBt, l.opZ)
 	p.ScaleInv(l.opQn, l.opZ, l.opBt)
 
-	g, err := graph.Build(p, map[program.OperandID]*sparse.CSB{l.opA: a}, graph.DefaultOptions())
+	opt := graph.DefaultOptions()
+	g, err := graph.Build(p, w.graphInputs(&opt), opt)
 	if err != nil {
 		return nil, err
 	}
 	l.g = g
 	l.st = program.NewStore(p)
-	l.st.SetSparse(l.opA, a)
+	w.attach(l.st)
 	return l, nil
 }
 
@@ -179,7 +186,8 @@ func (l *Lanczos) initState(seed int64) {
 	blas.Scal(1/blas.Nrm2(q), q)
 	qb := l.st.Vec[l.opQb]
 	clear(qb)
-	for i := 0; i < l.A.Rows; i++ {
+	m, _ := l.A.Dims()
+	for i := 0; i < m; i++ {
 		qb[i*l.K] = q[i] // basis column 0
 	}
 }
@@ -224,7 +232,8 @@ func (l *Lanczos) iterate(ctx context.Context, pr rt.PreparedRun, it int, res *R
 	// Host epilogue: append qn as basis column `it` and advance q.
 	qn := l.st.Vec[l.opQn]
 	qb := l.st.Vec[l.opQb]
-	for i := 0; i < l.A.Rows; i++ {
+	m, _ := l.A.Dims()
+	for i := 0; i < m; i++ {
 		qb[i*l.K+it] = qn[i]
 	}
 	copy(l.st.Vec[l.opQ], qn)
@@ -248,7 +257,7 @@ func (l *Lanczos) RitzVectors(want int) ([]float64, error) {
 	}
 	// SymTriEig orders ascending; Run reports descending, so column j of
 	// the result pairs with tridiagonal eigenvector column k-1-j.
-	m := l.A.Rows
+	m, _ := l.A.Dims()
 	qb := l.st.Vec[l.opQb]
 	out := make([]float64, m*want)
 	for j := 0; j < want; j++ {

@@ -26,7 +26,7 @@ import (
 // recurrences so only one SpMM runs per iteration; the task graph this
 // produces is the deep, wide DAG of the paper's Fig. 4.
 type LOBPCG struct {
-	A *sparse.CSB
+	A sparse.Matrix
 	N int // block width (paper uses 8–16)
 	// Tol is the convergence threshold on the Frobenius residual norm
 	// ‖HΨ − ΨM‖_F relative to the Ritz value magnitudes.
@@ -68,23 +68,30 @@ func WithJacobiPreconditioner() Option {
 }
 
 // NewLOBPCG builds the solver and its single-iteration TDG for block width n.
-func NewLOBPCG(a *sparse.CSB, n int, opts ...Option) (*LOBPCG, error) {
+// A *sparse.SymCSB matrix routes the SpMM through the symmetry-exploiting
+// kernels (LOBPCG requires symmetry anyway, so this is the natural storage).
+func NewLOBPCG(a sparse.Matrix, n int, opts ...Option) (*LOBPCG, error) {
 	if n < 1 {
 		return nil, errors.New("solver: LOBPCG needs block width >= 1")
 	}
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("solver: LOBPCG needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	rows, cols := a.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("solver: LOBPCG needs a square matrix, got %dx%d", rows, cols)
 	}
-	if 3*n > a.Rows {
-		return nil, fmt.Errorf("solver: block width %d too large for dimension %d", n, a.Rows)
+	if 3*n > rows {
+		return nil, fmt.Errorf("solver: block width %d too large for dimension %d", n, rows)
 	}
 	l := &LOBPCG{A: a, N: n, Tol: 1e-8, MaxIter: 100}
 	for _, o := range opts {
 		o(l)
 	}
-	p := program.New(a.Rows, a.Block)
+	p := program.New(rows, a.BlockSize())
 	l.prog = p
-	l.opA = p.Sparse("A")
+	w, err := wireMatrix(p, a)
+	if err != nil {
+		return nil, err
+	}
+	l.opA = w.op
 	l.opPsi = p.Vec("Psi", n)
 	l.opHPsi = p.Vec("HPsi", n)
 	l.opR = p.Vec("R", n)
@@ -129,7 +136,7 @@ func NewLOBPCG(a *sparse.CSB, n int, opts ...Option) (*LOBPCG, error) {
 	// directions fall below the rank-filter threshold and stagnate).
 	p.ScaleInv(l.opR, l.opR, l.opRnorm)
 	// HR = A·R — the iteration's one SpMM.
-	p.SpMM(l.opHR, l.opA, l.opR)
+	w.spmm(p, l.opHR, l.opR)
 	// Rayleigh–Ritz Gram blocks over span{Ψ, R, Q}.
 	p.GemmT(l.opOPP, l.opPsi, l.opPsi)
 	p.GemmT(l.opOPR, l.opPsi, l.opR)
@@ -166,13 +173,14 @@ func NewLOBPCG(a *sparse.CSB, n int, opts ...Option) (*LOBPCG, error) {
 	p.Copy(l.opQ, l.opQN)
 	p.Copy(l.opHQ, l.opHQN)
 
-	g, err := graph.Build(p, map[program.OperandID]*sparse.CSB{l.opA: a}, graph.DefaultOptions())
+	opt := graph.DefaultOptions()
+	g, err := graph.Build(p, w.graphInputs(&opt), opt)
 	if err != nil {
 		return nil, err
 	}
 	l.g = g
 	l.st = program.NewStore(p)
-	l.st.SetSparse(l.opA, a)
+	w.attach(l.st)
 	l.ws = newRRWorkspace(n)
 	return l, nil
 }
@@ -361,7 +369,7 @@ func (l *LOBPCG) Run(ctx context.Context, r rt.Runtime, seed int64, iters int) (
 // HΨ0 = A·Ψ0, and the conjugate-direction blocks start at zero (host init,
 // excluded from iteration timing just as the paper excludes setup).
 func (l *LOBPCG) initState(seed int64) error {
-	m := l.A.Rows
+	m, _ := l.A.Dims()
 	n := l.N
 	rng := rand.New(rand.NewSource(seed))
 	psi := l.st.Vec[l.opPsi]
@@ -375,7 +383,7 @@ func (l *LOBPCG) initState(seed int64) error {
 	zero(l.st.Vec[l.opQ])
 	zero(l.st.Vec[l.opHQ])
 	if l.precondition {
-		fillInverseDiagonal(l.st.Vec[l.opDinv], l.A)
+		l.A.InverseDiagonal(l.st.Vec[l.opDinv])
 	}
 	return nil
 }
@@ -395,25 +403,6 @@ func (l *LOBPCG) iterate(ctx context.Context, pr rt.PreparedRun) (float64, error
 
 func zero(s []float64) {
 	clear(s)
-}
-
-// fillInverseDiagonal extracts 1/diag(A) from the CSB matrix; zero or
-// missing diagonal entries fall back to 1 (no scaling for that row).
-func fillInverseDiagonal(dinv []float64, a *sparse.CSB) {
-	for i := range dinv {
-		dinv[i] = 1
-	}
-	for bi := 0; bi < a.NBR && bi < a.NBC; bi++ {
-		k := a.BlockIndex(bi, bi)
-		off := int64(bi) * int64(a.Block)
-		for p := a.BlkPtr[k]; p < a.BlkPtr[k+1]; p++ {
-			if a.RI[p] == a.CI[p] {
-				if v := a.V[p]; v != 0 {
-					dinv[off+int64(a.RI[p])] = 1 / v
-				}
-			}
-		}
-	}
 }
 
 // LOBPCGReference runs a dense-algebra sequential LOBPCG on a CSR matrix for

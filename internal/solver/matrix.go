@@ -1,0 +1,62 @@
+package solver
+
+import (
+	"fmt"
+
+	"sparsetask/internal/graph"
+	"sparsetask/internal/program"
+	"sparsetask/internal/sparse"
+)
+
+// matWiring binds a solver's system matrix to the program IR. The solvers
+// accept any sparse.Matrix; the wiring type-switches once at construction so
+// the per-iteration program uses the symmetric kernels (OpSymSparse +
+// CSpMMSym) when handed a SymCSB, and the general path otherwise — the rest
+// of the solver code is format-agnostic.
+type matWiring struct {
+	op  program.OperandID
+	gen *sparse.CSB
+	sym *sparse.SymCSB
+}
+
+// wireMatrix declares the matrix operand for a. Supported concrete types are
+// *sparse.CSB (general tiles) and *sparse.SymCSB (lower-triangle storage with
+// symmetry-exploiting kernels).
+func wireMatrix(p *program.Program, a sparse.Matrix) (matWiring, error) {
+	switch m := a.(type) {
+	case *sparse.CSB:
+		return matWiring{op: p.Sparse("A"), gen: m}, nil
+	case *sparse.SymCSB:
+		return matWiring{op: p.SymSparse("A"), sym: m}, nil
+	default:
+		return matWiring{}, fmt.Errorf("solver: unsupported matrix type %T", a)
+	}
+}
+
+// spmm appends the out = A·x call matching the storage format.
+func (w matWiring) spmm(p *program.Program, out, x program.OperandID) {
+	if w.sym != nil {
+		p.SpMMSym(out, w.op, x)
+	} else {
+		p.SpMM(out, w.op, x)
+	}
+}
+
+// graphInputs returns the general-matrix map for graph.Build and records the
+// symmetric matrix in opt, whichever applies.
+func (w matWiring) graphInputs(opt *graph.Options) map[program.OperandID]*sparse.CSB {
+	if w.sym != nil {
+		opt.Syms = map[program.OperandID]*sparse.SymCSB{w.op: w.sym}
+		return nil
+	}
+	return map[program.OperandID]*sparse.CSB{w.op: w.gen}
+}
+
+// attach binds the matrix storage to the run's store.
+func (w matWiring) attach(st *program.Store) {
+	if w.sym != nil {
+		st.SetSymSparse(w.op, w.sym)
+	} else {
+		st.SetSparse(w.op, w.gen)
+	}
+}

@@ -34,7 +34,7 @@ import (
 //	β      = rzNew/rz     (small step, applied via ScaleInv)
 //	p      = z + β·p
 type PCG struct {
-	A *sparse.CSB
+	A sparse.Matrix
 	M *precond.IC0
 	// Tol is the convergence threshold on ‖r‖/‖b‖.
 	Tol     float64
@@ -57,7 +57,7 @@ type PCG struct {
 
 // NewPCG builds the solver and its single-iteration TDG, deriving the
 // triangular level structure by scanning the factors.
-func NewPCG(a *sparse.CSB, m *precond.IC0) (*PCG, error) {
+func NewPCG(a sparse.Matrix, m *precond.IC0) (*PCG, error) {
 	return NewPCGWithLevels(a, m, nil, nil)
 }
 
@@ -65,20 +65,25 @@ func NewPCG(a *sparse.CSB, m *precond.IC0) (*PCG, error) {
 // and backward factors (precond.Levels at the CSB block size). solverd's
 // factorization cache passes these so a repeat solve skips the level
 // re-analysis; nil lowers/uppers fall back to scanning.
-func NewPCGWithLevels(a *sparse.CSB, m *precond.IC0, lower, upper *precond.Levels) (*PCG, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("solver: PCG needs a square matrix, got %dx%d", a.Rows, a.Cols)
+func NewPCGWithLevels(a sparse.Matrix, m *precond.IC0, lower, upper *precond.Levels) (*PCG, error) {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("solver: PCG needs a square matrix, got %dx%d", rows, cols)
 	}
 	if m == nil {
 		return nil, errors.New("solver: PCG needs a preconditioner (use CG for none)")
 	}
-	if m.Rows != a.Rows {
-		return nil, fmt.Errorf("solver: preconditioner is over %d rows, matrix has %d", m.Rows, a.Rows)
+	if m.Rows != rows {
+		return nil, fmt.Errorf("solver: preconditioner is over %d rows, matrix has %d", m.Rows, rows)
 	}
-	c := &PCG{A: a, M: m, Tol: 1e-10, MaxIter: 10 * a.Rows}
-	p := program.New(a.Rows, a.Block)
+	c := &PCG{A: a, M: m, Tol: 1e-10, MaxIter: 10 * rows}
+	p := program.New(rows, a.BlockSize())
 	c.prog = p
-	c.opA = p.Sparse("A")
+	w, err := wireMatrix(p, a)
+	if err != nil {
+		return nil, err
+	}
+	c.opA = w.op
 	c.opX = p.Vec("x", 1)
 	c.opP = p.Vec("p", 1)
 	c.opQ = p.Vec("q", 1)
@@ -95,7 +100,7 @@ func NewPCGWithLevels(a *sparse.CSB, m *precond.IC0, lower, upper *precond.Level
 	c.opRnorm = p.Scalar("rnorm")
 
 	// q = A·p ; pq = pᵀq ; alpha_inv = pq/rz so ScaleInv applies α.
-	p.SpMM(c.opQ, c.opA, c.opP)
+	w.spmm(p, c.opQ, c.opP)
 	p.Dot(c.opPQ, c.opP, c.opQ)
 	p.SmallStep("alpha", func(st *program.Store) {
 		rz := st.Scalars[c.opRZ]
@@ -121,7 +126,7 @@ func NewPCGWithLevels(a *sparse.CSB, m *precond.IC0, lower, upper *precond.Level
 		p.SpTrsvLower(c.opY, c.opL, c.opR)
 		p.SpTrsvUpper(c.opZ, c.opU, c.opY)
 		opt.Tris = map[program.OperandID]*sparse.CSR{c.opL: m.L, c.opU: m.U}
-		if lower != nil && upper != nil && lower.Block == a.Block && upper.Block == a.Block {
+		if lower != nil && upper != nil && lower.Block == a.BlockSize() && upper.Block == a.BlockSize() {
 			opt.TriDeps = map[program.OperandID][][]int32{
 				c.opL: lower.BlockDeps,
 				c.opU: upper.BlockDeps,
@@ -147,13 +152,13 @@ func NewPCGWithLevels(a *sparse.CSB, m *precond.IC0, lower, upper *precond.Level
 	p.ScaleInv(c.opBP, c.opP, c.opBetaInv).MarkIndexLaunch()
 	p.Axpby(c.opP, 1, c.opZ, 1, c.opBP)
 
-	g, err := graph.Build(p, map[program.OperandID]*sparse.CSB{c.opA: a}, opt)
+	g, err := graph.Build(p, w.graphInputs(&opt), opt)
 	if err != nil {
 		return nil, err
 	}
 	c.g = g
 	c.st = program.NewStore(p)
-	c.st.SetSparse(c.opA, a)
+	w.attach(c.st)
 	if m.Kind == precond.KindIC0 {
 		c.st.SetTri(c.opL, m.L)
 		c.st.SetTri(c.opU, m.U)
@@ -176,7 +181,7 @@ func (c *PCG) Solve(ctx context.Context, r rt.Runtime, b []float64) ([]float64, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	m := c.A.Rows
+	m, _ := c.A.Dims()
 	if len(b) != m {
 		return nil, 0, 0, fmt.Errorf("solver: PCG rhs has length %d, want %d", len(b), m)
 	}

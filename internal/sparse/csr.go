@@ -88,6 +88,43 @@ func (a *CSR) SpMM(y, x []float64, n int) {
 // RowNNZ returns the number of nonzeros in row i.
 func (a *CSR) RowNNZ(i int) int { return int(a.RowPtr[i+1] - a.RowPtr[i]) }
 
+// IsSymmetric reports whether the matrix pattern and values are symmetric.
+// Cost is O(nnz·log maxRowNNZ): every strictly-upper entry is matched
+// against its mirror by binary search over the (sorted) columns of the
+// mirror row, and the triangles must balance (the mirror map is injective,
+// so equal counts make it a bijection).
+func (a *CSR) IsSymmetric() bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	nUpper, nLower := 0, 0
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := int(a.ColIdx[p])
+			switch {
+			case j == i:
+			case j < i:
+				nLower++
+			default:
+				nUpper++
+				lo, hi := a.RowPtr[j], a.RowPtr[j+1]
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if int(a.ColIdx[mid]) < i {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				if lo == a.RowPtr[j+1] || int(a.ColIdx[lo]) != i || a.V[lo] != a.V[p] {
+					return false
+				}
+			}
+		}
+	}
+	return nUpper == nLower
+}
+
 // MaxRowNNZ returns the maximum per-row nonzero count; the paper's load
 // imbalance discussion is driven by this skew.
 func (a *CSR) MaxRowNNZ() int {

@@ -1,0 +1,48 @@
+package sparse
+
+// Matrix is the storage-format abstraction the solvers build against: both
+// the general CSB and the symmetry-exploiting SymCSB satisfy it, so a solver
+// opts into symmetric storage simply by being handed a *SymCSB. The
+// interface covers exactly what solver construction and (cold) init paths
+// need; hot-path kernels always go through the concrete types attached to
+// the program store.
+type Matrix interface {
+	// Dims returns the matrix dimensions (rows, cols).
+	Dims() (int, int)
+	// BlockSize returns the CSB tile edge length (the program block size).
+	BlockSize() int
+	// NNZ returns the number of stored entries.
+	NNZ() int
+	// SpMV computes y = A·x sequentially (reference/init path).
+	SpMV(y, x []float64)
+	// SpMM computes Y = A·X sequentially over n-column row-major blocks.
+	SpMM(y, x []float64, n int)
+	// InverseDiagonal fills dinv with 1/diag(A), defaulting to 1 for zero or
+	// missing diagonal entries.
+	InverseDiagonal(dinv []float64)
+}
+
+// Dims returns the matrix dimensions.
+func (a *CSB) Dims() (int, int) { return a.Rows, a.Cols }
+
+// BlockSize returns the tile edge length.
+func (a *CSB) BlockSize() int { return a.Block }
+
+// InverseDiagonal fills dinv with 1/diag(A); zero or missing diagonal
+// entries fall back to 1 (no scaling for that row).
+func (a *CSB) InverseDiagonal(dinv []float64) {
+	for i := range dinv {
+		dinv[i] = 1
+	}
+	for bi := 0; bi < a.NBR && bi < a.NBC; bi++ {
+		k := a.BlockIndex(bi, bi)
+		off := bi * a.Block
+		for p := a.BlkPtr[k]; p < a.BlkPtr[k+1]; p++ {
+			if a.RI[p] == a.CI[p] {
+				if v := a.V[p]; v != 0 {
+					dinv[off+int(a.RI[p])] = 1 / v
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,11 @@ type Stats struct {
 	Imbalance float64
 	// Bandwidth is the maximum |i-j| over stored entries.
 	Bandwidth int
+	// Symmetric reports numerical symmetry (pattern and values): the
+	// precondition for SymCSB storage. It participates in Fingerprint so a
+	// symmetric-storage plan can never be served for a general matrix that
+	// happens to share the other structural stats.
+	Symmetric bool
 }
 
 // ComputeStats scans a CSR matrix.
@@ -39,6 +44,7 @@ func ComputeStats(a *CSR) Stats {
 	if s.AvgRowNNZ > 0 {
 		s.Imbalance = float64(s.MaxRowNNZ) / s.AvgRowNNZ
 	}
+	s.Symmetric = a.IsSymmetric()
 	return s
 }
 
@@ -52,9 +58,13 @@ func (s Stats) Fingerprint() uint64 {
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
+	var sym uint64
+	if s.Symmetric {
+		sym = 1
+	}
 	for _, v := range []uint64{
 		uint64(s.Rows), uint64(s.Cols), uint64(s.NNZ),
-		uint64(s.MaxRowNNZ), uint64(s.Bandwidth),
+		uint64(s.MaxRowNNZ), uint64(s.Bandwidth), sym,
 	} {
 		for i := 0; i < 8; i++ {
 			h ^= (v >> (8 * i)) & 0xff
@@ -65,8 +75,12 @@ func (s Stats) Fingerprint() uint64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%dx%d nnz=%d avg/row=%.1f max/row=%d imb=%.1f bw=%d",
-		s.Rows, s.Cols, s.NNZ, s.AvgRowNNZ, s.MaxRowNNZ, s.Imbalance, s.Bandwidth)
+	sym := ""
+	if s.Symmetric {
+		sym = " sym"
+	}
+	return fmt.Sprintf("%dx%d nnz=%d avg/row=%.1f max/row=%d imb=%.1f bw=%d%s",
+		s.Rows, s.Cols, s.NNZ, s.AvgRowNNZ, s.MaxRowNNZ, s.Imbalance, s.Bandwidth, sym)
 }
 
 // BlockFill summarizes how CSB tiling interacts with the pattern at a given

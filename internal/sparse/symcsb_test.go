@@ -1,0 +1,328 @@
+package sparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomSymCOO builds a random numerically symmetric n×n matrix: each lower
+// pair (i,j) is drawn once and mirrored.
+func randomSymCOO(rng *rand.Rand, n int, density float64) *COO {
+	a := NewCOO(n, n, 0)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			v := rng.NormFloat64()
+			a.Append(int32(i), int32(j), v)
+			if i != j {
+				a.Append(int32(j), int32(i), v)
+			}
+		}
+	}
+	a.Compact()
+	return a
+}
+
+func checkSymEquiv(t *testing.T, a *COO, block, r int) {
+	t.Helper()
+	sym, err := a.ToSymCSB(block)
+	if err != nil {
+		t.Fatalf("ToSymCSB(%d): %v", block, err)
+	}
+	x := make([]float64, a.Cols*r)
+	rng := rand.New(rand.NewSource(int64(a.Rows*1000 + block*10 + r)))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := cooSpMMRef(a, x, r)
+	got := make([]float64, a.Rows*r)
+	if r == 1 {
+		sym.SpMV(got, x)
+		for i := range got {
+			if !relEq(got[i], want[i]) {
+				t.Fatalf("SymSpMV n=%d block=%d: y[%d] = %g, want %g", a.Rows, block, i, got[i], want[i])
+			}
+		}
+	}
+	sym.SpMM(got, x, r)
+	for i := range got {
+		if !relEq(got[i], want[i]) {
+			t.Fatalf("SymSpMM n=%d block=%d r=%d: y[%d] = %g, want %g", a.Rows, block, r, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSymCSBKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	shapes := []struct{ n, block int }{
+		{1, 1},
+		{1, 8},
+		{13, 5},  // ragged edge tile
+		{17, 64}, // block larger than the matrix: a single diagonal tile
+		{33, 32}, // one-past-a-tile edge
+		{64, 16}, // exact tiling
+		{50, 7},  // ragged edges
+		{96, 8},  // many tiles
+	}
+	for _, s := range shapes {
+		a := randomSymCOO(rng, s.n, 0.2)
+		for _, r := range []int{1, 2, 3, 4, 5, 8, 11} {
+			checkSymEquiv(t, a, s.block, r)
+		}
+	}
+}
+
+func TestSymCSBKernelEquivalenceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for it := 0; it < iters; it++ {
+		n := 1 + rng.Intn(90)
+		block := 1 + rng.Intn(n+8)
+		density := 0.02 + 0.3*rng.Float64()
+		r := 1 + rng.Intn(10)
+		a := randomSymCOO(rng, n, density)
+		checkSymEquiv(t, a, block, r)
+	}
+}
+
+func TestSymCSBStorageCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSymCOO(rng, 40, 0.25)
+	sym, err := a.ToSymCSB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.FullNNZ != a.NNZ() {
+		t.Fatalf("FullNNZ = %d, want %d", sym.FullNNZ, a.NNZ())
+	}
+	if want := (sym.FullNNZ + sym.DiagNNZ) / 2; sym.NNZ() != want {
+		t.Fatalf("stored NNZ = %d, want (full+diag)/2 = %d", sym.NNZ(), want)
+	}
+	if sym.NNZ() > sym.FullNNZ/2+40 {
+		t.Fatalf("stored NNZ %d does not halve full %d", sym.NNZ(), sym.FullNNZ)
+	}
+	nd := 0
+	for k := range a.V {
+		if a.I[k] == a.J[k] {
+			nd++
+		}
+	}
+	if sym.DiagNNZ != nd {
+		t.Fatalf("DiagNNZ = %d, want %d", sym.DiagNNZ, nd)
+	}
+}
+
+func TestSymCSBRejectsAsymmetric(t *testing.T) {
+	// Pattern asymmetry: (0,1) present, (1,0) missing.
+	a := NewCOO(3, 3, 0)
+	a.Append(0, 1, 2.0)
+	a.Append(0, 0, 1.0)
+	if _, err := a.ToSymCSB(2); !errors.Is(err, ErrNotSymmetric) {
+		t.Fatalf("pattern-asymmetric: err = %v, want ErrNotSymmetric", err)
+	}
+	// Value asymmetry: mirrored entry with a different value.
+	b := NewCOO(3, 3, 0)
+	b.Append(0, 1, 2.0)
+	b.Append(1, 0, 2.5)
+	if _, err := b.ToSymCSB(2); !errors.Is(err, ErrNotSymmetric) {
+		t.Fatalf("value-asymmetric: err = %v, want ErrNotSymmetric", err)
+	}
+	// Non-square.
+	c := NewCOO(3, 4, 0)
+	if _, err := c.ToSymCSB(2); err == nil {
+		t.Fatal("non-square matrix converted without error")
+	}
+}
+
+// Wave-mode invariant: every stored non-empty tile has a wave, and no two
+// tiles of one wave share a row band (counting the transposed band).
+func checkWaveInvariant(t *testing.T, sym *SymCSB) {
+	t.Helper()
+	if sym.Sched.Fallback {
+		t.Fatal("expected wave mode, got fallback")
+	}
+	touched := make(map[int64]int32) // wave·NBR+band -> packed tile idx
+	for bi := 0; bi < sym.NBR; bi++ {
+		for bj := 0; bj <= bi; bj++ {
+			idx := sym.TileIndex(bi, bj)
+			w := sym.Sched.Wave[idx]
+			if sym.TileNNZ(bi, bj) == 0 {
+				if w != -1 {
+					t.Fatalf("empty tile (%d,%d) got wave %d", bi, bj, w)
+				}
+				continue
+			}
+			if w < 0 || int(w) >= sym.Sched.NumWaves {
+				t.Fatalf("tile (%d,%d) wave %d outside [0,%d)", bi, bj, w, sym.Sched.NumWaves)
+			}
+			bands := []int{bi}
+			if bi != bj {
+				bands = append(bands, bj)
+			}
+			for _, band := range bands {
+				key := int64(w)*int64(sym.NBR) + int64(band)
+				if prev, ok := touched[key]; ok {
+					t.Fatalf("wave %d: tiles %d and %d both touch band %d", w, prev, idx, band)
+				}
+				touched[key] = int32(idx)
+			}
+		}
+	}
+}
+
+func TestSymCSBScheduleWaveBanded(t *testing.T) {
+	// Block-tridiagonal: each band meets at most 3 tiles, so greedy coloring
+	// needs few waves and never falls back.
+	n, block := 96, 8
+	a := NewCOO(n, n, 0)
+	for i := 0; i < n; i++ {
+		a.Append(int32(i), int32(i), 4.0)
+		if i > 0 {
+			a.Append(int32(i), int32(i-1), -1.0)
+			a.Append(int32(i-1), int32(i), -1.0)
+		}
+	}
+	a.Compact()
+	sym, err := a.ToSymCSB(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWaveInvariant(t, sym)
+	if sym.Sched.NumWaves > 4 {
+		t.Fatalf("tridiagonal coloring used %d waves, want <= 4", sym.Sched.NumWaves)
+	}
+}
+
+func TestSymCSBScheduleFallbackArrowhead(t *testing.T) {
+	// Arrowhead: row/col 0 is dense, so band 0 meets every tile row and
+	// coloring would need ~NBR waves > max(4, NBR/2) -> fallback.
+	n, block := 128, 8
+	a := NewCOO(n, n, 0)
+	for i := 0; i < n; i++ {
+		a.Append(int32(i), int32(i), 4.0)
+		if i > 0 {
+			a.Append(int32(i), 0, 1.0)
+			a.Append(0, int32(i), 1.0)
+		}
+	}
+	a.Compact()
+	sym, err := a.ToSymCSB(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sym.Sched
+	if !s.Fallback {
+		t.Fatalf("arrowhead with %d tile rows stayed in wave mode", sym.NBR)
+	}
+	if want := SymAccGroups; s.Groups != want {
+		t.Fatalf("Groups = %d, want %d", s.Groups, want)
+	}
+	// TransGroups must flag exactly the groups with a transposed write into
+	// each band.
+	for bj := 0; bj < sym.NBR; bj++ {
+		var want uint8
+		for bi := bj + 1; bi < sym.NBR; bi++ {
+			if sym.TileNNZ(bi, bj) > 0 {
+				want |= 1 << uint(sym.AccGroup(bi))
+			}
+		}
+		if s.TransGroups[bj] != want {
+			t.Fatalf("TransGroups[%d] = %08b, want %08b", bj, s.TransGroups[bj], want)
+		}
+	}
+	// AccGroup must stay within range and be monotone in bi.
+	prev := 0
+	for bi := 0; bi < sym.NBR; bi++ {
+		g := sym.AccGroup(bi)
+		if g < 0 || g >= s.Groups || g < prev {
+			t.Fatalf("AccGroup(%d) = %d (prev %d, groups %d)", bi, g, prev, s.Groups)
+		}
+		prev = g
+	}
+	// And the fallback matrix must still multiply correctly.
+	checkSymEquiv(t, a, block, 1)
+	checkSymEquiv(t, a, block, 8)
+}
+
+// The fallback kernel pair (Direct into y, Trans into a private accumulator,
+// then fold) must reproduce the combined kernel's mathematics.
+func TestSymCSBDirectTransPairEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, block := 48, 8
+	a := randomSymCOO(rng, n, 0.3)
+	sym, err := a.ToSymCSB(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{1, 2, 4, 8, 5} {
+		x := make([]float64, n*r)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n*r)
+		sym.SpMM(want, x, r)
+
+		got := make([]float64, n*r)
+		acc := make([]float64, n*r)
+		for bi := 0; bi < sym.NBR; bi++ {
+			for bj := 0; bj <= bi; bj++ {
+				if sym.TileNNZ(bi, bj) == 0 {
+					continue
+				}
+				if bi == bj {
+					sym.BlockSymSpMM(got, x, r, bi, bj)
+					continue
+				}
+				if r == 1 {
+					sym.BlockSymSpMVDirect(got, x, bi, bj)
+					sym.BlockSymSpMVTrans(acc, x, bi, bj)
+				} else {
+					sym.BlockSymSpMMDirect(got, x, r, bi, bj)
+					sym.BlockSymSpMMTrans(acc, x, r, bi, bj)
+				}
+			}
+		}
+		for i := range got {
+			got[i] += acc[i]
+		}
+		for i := range got {
+			if !relEq(got[i], want[i]) {
+				t.Fatalf("r=%d: direct+trans y[%d] = %g, want %g", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSymCSBInverseDiagonal(t *testing.T) {
+	a := NewCOO(10, 10, 0)
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue // missing diagonal: falls back to 1
+		}
+		a.Append(int32(i), int32(i), float64(i+1))
+	}
+	a.Append(7, 2, 0.5)
+	a.Append(2, 7, 0.5)
+	a.Compact()
+	sym, err := a.ToSymCSB(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dinv := make([]float64, 10)
+	sym.InverseDiagonal(dinv)
+	for i := range dinv {
+		want := 1 / float64(i+1)
+		if i == 3 {
+			want = 1
+		}
+		if !relEq(dinv[i], want) {
+			t.Fatalf("dinv[%d] = %g, want %g", i, dinv[i], want)
+		}
+	}
+}

@@ -1,19 +1,27 @@
 #!/bin/sh
 # bench.sh — reproducible performance baseline for the exec-mode hot paths.
 #
-# Runs cmd/perfbench (kernel microbenches, fixed-iteration solver runs per
-# backend — including the IC(0) triangular-solve and PCG benches — and a
-# short in-process solverd load run) and writes/updates BENCH_PR6.json. A
-# fresh BENCH_PR6.json is seeded from the BENCH_PR3.json trajectory so the
-# pre-existing benches keep their original baseline; benches new to this
-# harness adopt their first measurement as baseline. The stored "baseline"
-# section is preserved across runs so the committed file always shows
-# current-vs-baseline speedups; use `-reset-baseline` (forwarded) to start a
-# new trajectory. After the run a baseline-vs-current delta table is printed
-# for every bench, flagging rows outside the ±5% noise band — read that, not
-# the raw JSON.
+# Runs cmd/perfbench (kernel microbenches — general and symmetric-storage
+# SpMV/SpMM pairs — fixed-iteration solver runs per backend, the IC(0)
+# triangular-solve and PCG benches, and a short in-process solverd load run)
+# and writes/updates BENCH_PR8.json. A fresh BENCH_PR8.json is seeded from the
+# BENCH_PR6.json trajectory so the pre-existing benches keep their original
+# baseline; benches new to this harness adopt their first measurement as
+# baseline. The stored "baseline" section is preserved across runs so the
+# committed file always shows current-vs-baseline speedups; use
+# `-reset-baseline` (forwarded) to start a new trajectory. After the run a
+# baseline-vs-current delta table is printed for every bench, flagging rows
+# outside the ±5% noise band — read that, not the raw JSON.
 #
-#   ./scripts/bench.sh                      # standard run, updates BENCH_PR6.json
+# Bandwidth-bound kernel rows carry a roofline column: internal/roofline
+# calibrates the host's STREAM-triad peak per topology profile, and the table
+# shows each kernel's attained GB/s (its traffic model's bytes over measured
+# ns/op) as a fraction of the flat-profile peak; the JSON Extra fields add the
+# per-profile fractions (frac_peak_flat/broadwell/epyc), the model bytes, and
+# for symmetric rows the matrix-bytes ratio and speedup versus the paired
+# general bench.
+#
+#   ./scripts/bench.sh                      # standard run, updates BENCH_PR8.json
 #   BENCHTIME=1s ./scripts/bench.sh         # longer per-bench measuring time
 #   ./scripts/bench.sh -loadgen 0           # skip the serving-layer section
 #
@@ -22,11 +30,11 @@
 set -e
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR6.json}"
+OUT="${OUT:-BENCH_PR8.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 
-if [ "$OUT" = "BENCH_PR6.json" ] && [ ! -f "$OUT" ] && [ -f BENCH_PR3.json ]; then
-    cp BENCH_PR3.json "$OUT" # carry the PR-3 baseline forward
+if [ "$OUT" = "BENCH_PR8.json" ] && [ ! -f "$OUT" ] && [ -f BENCH_PR6.json ]; then
+    cp BENCH_PR6.json "$OUT" # carry the PR-6 trajectory forward
 fi
 
 go build ./...
