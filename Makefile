@@ -32,7 +32,7 @@ test:
 # they must also pass under the race detector (the hierarchical steal paths
 # in sched and rt, and the level-scheduled triangular wavefronts, especially).
 race:
-	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/graph/... ./internal/rt/... ./internal/solver/... ./internal/precond/... ./internal/topo/... ./internal/roofline/...
+	$(GO) test -race ./internal/server/... ./internal/route/... ./internal/sched/... ./internal/graph/... ./internal/rt/... ./internal/solver/... ./internal/precond/... ./internal/topo/... ./internal/roofline/...
 
 # Short fuzz session for the MatrixMarket parser (regression seeds always run
 # as part of `make test`).

@@ -1,9 +1,18 @@
-// Command loadgen drives a running solverd with a closed-loop workload: each
-// of -c workers submits a job, polls it to a terminal state, and immediately
-// submits the next, for -d total. It reports throughput and latency
-// percentiles measured from submission to terminal state.
+// Command loadgen drives a running solverd (or a solverfront router — the
+// API surface is identical) with one of two workloads:
+//
+//   - closed loop (default): each of -c workers submits a job, polls it to a
+//     terminal state, and immediately submits the next — measures capacity.
+//   - open loop (-arrivals open -rate λ): jobs arrive by a Poisson process
+//     at λ jobs/s regardless of completions — measures latency under a fixed
+//     offered load, the way serving systems are actually exercised, and
+//     gives the batch coalescer bursts of concurrent same-matrix arrivals.
+//
+// It reports throughput and latency percentiles measured from submission to
+// terminal state.
 //
 //	loadgen -addr localhost:8080 -c 4 -d 10s -mix lanczos=1,cg=1
+//	loadgen -front localhost:8070 -arrivals open -rate 50 -d 10s -mix cg=1
 //
 // Exit status is non-zero if no job completes successfully.
 package main
@@ -14,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -85,6 +95,7 @@ type stats struct {
 	failed    int
 	canceled  int
 	rejected  int
+	dropped   int
 	latencies []time.Duration
 }
 
@@ -101,6 +112,8 @@ func (s *stats) record(state string, d time.Duration) {
 		s.canceled++
 	case "rejected":
 		s.rejected++
+	case "dropped":
+		s.dropped++
 	}
 }
 
@@ -114,7 +127,11 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "solverd host:port")
+	front := flag.String("front", "", "solverfront router host:port (overrides -addr; same API surface)")
 	conc := flag.Int("c", 4, "closed-loop client concurrency")
+	arrivals := flag.String("arrivals", "closed", "arrival process: closed (fixed concurrency) or open (Poisson)")
+	rate := flag.Float64("rate", 20, "open-loop mean arrival rate, jobs/s")
+	inflight := flag.Int("max-inflight", 512, "open-loop in-flight cap; arrivals beyond it are dropped, not queued")
 	dur := flag.Duration("d", 10*time.Second, "run duration")
 	mixFlag := flag.String("mix", "lanczos=1,cg=1", "job mix: solver=weight[,solver=weight...]")
 	backend := flag.String("backend", "deepsparse", "runtime backend for all jobs")
@@ -139,7 +156,11 @@ func main() {
 			log.Fatalf("-cpuprofile: %v", err)
 		}
 	}
-	base := "http://" + *addr
+	target := *addr
+	if *front != "" {
+		target = *front
+	}
+	base := "http://" + target
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	// Fail fast when solverd is not reachable.
@@ -162,63 +183,103 @@ func main() {
 		return int(n)
 	}
 
-	start := time.Now()
-	for w := 0; w < *conc; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for time.Now().Before(deadline) {
-				solver := pick(mix, nextJob())
-				spec := map[string]any{
-					"solver":  solver,
-					"backend": *backend,
-					"matrix":  map[string]any{"suite": *suite, "preset": *preset, "seed": *seed},
-					"seed":    *seed,
-				}
-				if solver != "cg" {
-					spec["k"] = *k
-				}
-				body, _ := json.Marshal(spec)
-				submitted := time.Now()
-				resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
-				if err != nil {
-					log.Printf("submit: %v", err)
-					time.Sleep(50 * time.Millisecond)
-					continue
-				}
-				var v jobView
-				code := resp.StatusCode
-				if code == http.StatusAccepted {
-					_ = json.NewDecoder(resp.Body).Decode(&v)
-				}
-				resp.Body.Close()
-				if code == http.StatusTooManyRequests {
-					st.record("rejected", 0)
-					time.Sleep(20 * time.Millisecond) // back off, queue is full
-					continue
-				}
-				if code != http.StatusAccepted {
-					log.Printf("submit: unexpected status %d", code)
-					continue
-				}
-				// Closed loop: poll this job to a terminal state before
-				// submitting the next one.
-				for {
-					resp, err := client.Get(base + "/jobs/" + v.ID)
-					if err != nil {
-						log.Printf("poll %s: %v", v.ID, err)
-						break
-					}
-					_ = json.NewDecoder(resp.Body).Decode(&v)
-					resp.Body.Close()
-					if terminal(v.State) {
-						st.record(v.State, time.Since(submitted))
-						break
-					}
-					time.Sleep(2 * time.Millisecond)
-				}
+	// runOne submits the i-th job and polls it to a terminal state,
+	// recording the outcome. Returns false when the submit was rejected with
+	// 429 (so the closed loop can back off).
+	runOne := func(i int) bool {
+		solver := pick(mix, i)
+		spec := map[string]any{
+			"solver":  solver,
+			"backend": *backend,
+			"matrix":  map[string]any{"suite": *suite, "preset": *preset, "seed": *seed},
+			"seed":    *seed,
+		}
+		if solver != "cg" {
+			spec["k"] = *k
+		}
+		body, _ := json.Marshal(spec)
+		submitted := time.Now()
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Printf("submit: %v", err)
+			time.Sleep(50 * time.Millisecond)
+			return true
+		}
+		var v jobView
+		code := resp.StatusCode
+		if code == http.StatusAccepted {
+			_ = json.NewDecoder(resp.Body).Decode(&v)
+		}
+		resp.Body.Close()
+		if code == http.StatusTooManyRequests {
+			st.record("rejected", 0)
+			return false
+		}
+		if code != http.StatusAccepted {
+			log.Printf("submit: unexpected status %d", code)
+			return true
+		}
+		for {
+			resp, err := client.Get(base + "/jobs/" + v.ID)
+			if err != nil {
+				log.Printf("poll %s: %v", v.ID, err)
+				return true
 			}
-		}()
+			_ = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if terminal(v.State) {
+				st.record(v.State, time.Since(submitted))
+				return true
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	start := time.Now()
+	switch *arrivals {
+	case "closed":
+		for w := 0; w < *conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					if !runOne(nextJob()) {
+						time.Sleep(20 * time.Millisecond) // back off, queue is full
+					}
+				}
+			}()
+		}
+	case "open":
+		// Open loop: a Poisson arrival process submits jobs at -rate jobs/s
+		// whether or not earlier jobs finished. The in-flight cap bounds
+		// client memory when the server falls behind; a capped arrival is a
+		// drop (client-side loss), distinct from a 429 (server backpressure).
+		if *rate <= 0 {
+			log.Fatalf("-rate must be positive in open mode, got %v", *rate)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		sem := make(chan struct{}, *inflight)
+		for now := time.Now(); now.Before(deadline); now = time.Now() {
+			wait := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+			if remaining := deadline.Sub(now); wait > remaining {
+				break
+			}
+			time.Sleep(wait)
+			i := nextJob()
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					runOne(i)
+				}()
+			default:
+				st.record("dropped", 0)
+			}
+		}
+	default:
+		log.Fatalf("-arrivals must be closed or open, got %q", *arrivals)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -242,8 +303,12 @@ func main() {
 
 	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
 	throughput := float64(st.done) / elapsed.Seconds()
-	fmt.Printf("loadgen: %d done, %d failed, %d canceled, %d rejected in %s\n",
-		st.done, st.failed, st.canceled, st.rejected, elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: %d done, %d failed, %d canceled, %d rejected, %d dropped in %s\n",
+		st.done, st.failed, st.canceled, st.rejected, st.dropped, elapsed.Round(time.Millisecond))
+	if *arrivals == "open" {
+		fmt.Printf("offered: %.2f jobs/s (target %.2f)\n",
+			float64(st.done+st.failed+st.canceled+st.rejected)/elapsed.Seconds(), *rate)
+	}
 	fmt.Printf("throughput: %.2f jobs/s\n", throughput)
 	fmt.Printf("latency: p50=%s p90=%s p99=%s\n",
 		percentile(st.latencies, 0.50).Round(time.Microsecond),

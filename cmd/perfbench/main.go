@@ -1,8 +1,9 @@
 // Command perfbench measures the exec-mode hot paths — kernel
-// microbenchmarks, full fixed-iteration solver runs per runtime backend, and
-// a short in-process closed-loop run against the solverd serving layer — and
-// writes the results to a committed JSON file (BENCH_PR8.json) that later
-// perf work diffs against.
+// microbenchmarks, full fixed-iteration solver runs per runtime backend, the
+// multi-RHS batched-CG vs sequential comparison behind the serving layer's
+// coalescer, and a short in-process closed-loop run against the solverd
+// serving layer — and writes the results to a committed JSON file
+// (BENCH_PR9.json) that later perf work diffs against.
 //
 // The first run against a fresh output file records its measurements as both
 // "baseline" and "current". Subsequent runs keep the stored baseline,
@@ -16,8 +17,8 @@
 // bytes/op, the attained GB/s, and the attained fraction of each profile's
 // peak — so a ns/op number can be read as "how close to the memory wall".
 //
-//	go run ./cmd/perfbench -out BENCH_PR8.json
-//	go run ./cmd/perfbench -out BENCH_PR8.json -benchtime 200ms -loadgen 0
+//	go run ./cmd/perfbench -out BENCH_PR9.json
+//	go run ./cmd/perfbench -out BENCH_PR9.json -benchtime 200ms -loadgen 0
 //
 // Only public, stable APIs are used (solver Run/Solve, the rt backends,
 // internal/server), so the same harness binary semantics apply across
@@ -86,7 +87,7 @@ type report struct {
 func main() {
 	testing.Init()
 	var (
-		out        = flag.String("out", "BENCH_PR8.json", "output JSON file (baseline section is preserved)")
+		out        = flag.String("out", "BENCH_PR9.json", "output JSON file (baseline section is preserved)")
 		benchtime  = flag.String("benchtime", "300ms", "per-benchmark measuring time (testing -benchtime syntax)")
 		loadDur    = flag.Duration("loadgen", 2*time.Second, "duration of the in-process solverd load run (0 skips it)")
 		resetBase  = flag.Bool("reset-baseline", false, "discard the stored baseline and re-record it from this run")
@@ -137,6 +138,12 @@ func main() {
 		cur.Benches["solver/lobpcg8_steady_iter_deepsparse"] = m
 		fmt.Printf("%-40s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			"solver/lobpcg8_steady_iter_deepsparse", m.NsOp, m.BytesOp, m.AllocsOp)
+	}
+	if *only == "" || strings.Contains("serving/batch_cg_k4", *only) {
+		m := batchBench()
+		cur.Benches["serving/batch_cg_k4"] = m
+		fmt.Printf("%-40s %12.0f ns/op (per job)  agg speedup %.2fx\n",
+			"serving/batch_cg_k4", m.NsOp, m.Extra["agg_speedup"])
 	}
 	if *loadDur > 0 && (*only == "" || strings.Contains("serving/loadgen", *only)) {
 		m := servingBench(*loadDur)
@@ -708,6 +715,78 @@ func steadyIterBench() measurement {
 		N:        span,
 	}
 	return m
+}
+
+// batchBench measures the coalescer's payoff at the solver layer: four
+// single-RHS CG solves run back to back versus the same four right-hand
+// sides carried through one multi-RHS batched solve, both pinned to 30
+// iterations so the comparison is pure throughput, free of convergence
+// variance. The workload is the shared KKT bench matrix tiled at 96 tiles
+// per dimension — the §5.4 DeepSparse sweet spot on the manycore target,
+// i.e. the tile count a production shard runs at when tuned for parallel
+// execution rather than for this harness's host. At that operating point
+// the batch amortizes both the matrix stream (one SpMM instead of k SpMVs)
+// and the per-task scheduling overhead (one task graph execution per
+// iteration instead of k) — the two costs the coalescer exists to share.
+// ns_op is the batched per-job time; Extra records both totals and the
+// aggregate speedup — the PR-9 acceptance figure (>= 2x).
+func batchBench() measurement {
+	const k, iters, tiles = 4, 30, 96
+	coo, _ := benchMatrix()
+	csb := coo.ToCSB((coo.Rows + tiles - 1) / tiles)
+	bs := make([][]float64, k)
+	for j := range bs {
+		bs[j] = solver.RandomRHS(coo.Rows, int64(j)+3)
+	}
+	rtm := rt.NewDeepSparse(rt.Options{})
+	ctx := context.Background()
+	seq := func() time.Duration {
+		start := time.Now()
+		for _, rhs := range bs {
+			c, err := solver.NewCG(csb)
+			if err != nil {
+				fatal(err)
+			}
+			c.MaxIter = iters
+			c.Tol = 1e-300 // run the full fixed count
+			if _, _, n, err := c.Solve(ctx, rtm, rhs); err != nil && n != iters {
+				fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	bat := func() time.Duration {
+		start := time.Now()
+		c, err := solver.NewBatchCG(csb, k)
+		if err != nil {
+			fatal(err)
+		}
+		c.MaxIter = iters
+		c.Tol = 1e-300
+		if _, err := c.Solve(ctx, rtm, bs); err != nil {
+			fatal(err)
+		}
+		return time.Since(start)
+	}
+	best := func(f func() time.Duration) time.Duration {
+		f() // warmup
+		d := f()
+		if d2 := f(); d2 < d {
+			d = d2
+		}
+		return d
+	}
+	seqBest, batBest := best(seq), best(bat)
+	return measurement{
+		NsOp: float64(batBest.Nanoseconds()) / k,
+		N:    k,
+		Extra: map[string]float64{
+			"k":              k,
+			"seq_total_ns":   float64(seqBest.Nanoseconds()),
+			"batch_total_ns": float64(batBest.Nanoseconds()),
+			"agg_speedup":    round2(seqBest.Seconds() / batBest.Seconds()),
+		},
+	}
 }
 
 // servingBench runs solverd in-process and drives it closed-loop with two

@@ -30,6 +30,10 @@ func main() {
 	planCache := flag.Int("plan-cache", 128, "autotune plan cache capacity")
 	topoName := flag.String("topo", "flat",
 		"machine-topology profile for locality-aware scheduling: flat, auto, broadwell, epyc")
+	coalesce := flag.Int("coalesce", 8,
+		"max same-matrix cg/pcg jobs merged into one multi-RHS batch (1 disables coalescing)")
+	coalesceWindow := flag.Duration("coalesce-window", 2*time.Millisecond,
+		"how long the dispatcher holds a batchable job open for same-matrix arrivals")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight jobs before hard-cancelling them")
 	flag.Parse()
@@ -40,11 +44,13 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		QueueSize:     *queue,
-		Workers:       *workers,
-		RTWorkers:     *rtWorkers,
-		PlanCacheSize: *planCache,
-		Topo:          tp.Name,
+		QueueSize:      *queue,
+		Workers:        *workers,
+		RTWorkers:      *rtWorkers,
+		PlanCacheSize:  *planCache,
+		Topo:           tp.Name,
+		CoalesceMax:    *coalesce,
+		CoalesceWindow: *coalesceWindow,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -30,7 +30,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	for _, want := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "heuristic", "pcg", "symm", "headline"} {
+	for _, want := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "heuristic", "pcg", "symm", "batch", "headline"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -341,6 +341,25 @@ func TestPCGExperiment(t *testing.T) {
 		if strings.HasPrefix(k, "levels/") && v < 2 {
 			t.Errorf("%s = %v, want a multi-level forward solve", k, v)
 		}
+	}
+}
+
+func TestBatchExperiment(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Iterations = 30 // pinned throughput mode: fast and convergence-free
+	r, err := runBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 sizes at tiny preset", len(r.Rows))
+	}
+	// The batched solve streams the matrix once for k columns, so it can
+	// never be slower in aggregate; the full >= 2x acceptance figure is
+	// recorded by cmd/perfbench at fixed iteration counts, where convergence
+	// variance can't blur it. Here assert a clear win at the largest size.
+	if ratio := r.Metrics["agg_speedup_at_max_n"]; ratio < 1.2 {
+		t.Errorf("batched aggregate speedup %v at max size, want >= 1.2", ratio)
 	}
 }
 

@@ -173,6 +173,7 @@ func All() []Experiment {
 		{"fig14", "Fig. 14", "performance profiles of block-count bins (LOBPCG)", runFig14},
 		{"heuristic", "§5.4", "block-size sweep: tasking overhead vs parallelism", runHeuristic},
 		{"pcg", "§4+", "IC(0)-preconditioned CG vs CG: iterations and level-DAG shape", runPCG},
+		{"batch", "§4+", "multi-RHS batched CG vs sequential single-RHS solves (coalescer payoff)", runBatch},
 		{"symm", "§5+", "symmetric (SymCSB) vs general storage: speedup and streamed matrix bytes", runSymm},
 		{"locality", "§5.2", "hierarchical vs uniform-random stealing: locality and LLC misses", runLocality},
 		{"ablation", "§5.1", "scheduling ablations: HPX NUMA hints, Regent tracing, depth-first bias", runAblation},

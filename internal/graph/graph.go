@@ -71,12 +71,21 @@ const (
 	// Y[P] in ascending group order (First zeroes Y[P] first when no direct
 	// writer preceded it). Affinity-stamped to band P.
 	TSymReduce
+	// TColDotPart computes partial[bi][j] = Σ_i A[bi][i,j]·B[bi][i,j] — the
+	// per-column dot partial of a batched solve.
+	TColDotPart
+	// TColDotReduce sums per-column dot partials into the 1×k small output
+	// (optionally per-column √).
+	TColDotReduce
+	// TColAxpby computes Out[bi][:,j] = A[bi][:,j] + β·C[0,j]·B[bi][:,j]
+	// with per-column coefficients C (batched-solver update).
+	TColAxpby
 )
 
 var taskKindNames = [...]string{
 	"SpMM", "SpMM0", "SpMMbuf", "SpMMred", "XY", "XTYp", "XTYr",
 	"AXPBY", "SCALE", "DOTp", "DOTr", "SMALL", "COPY", "DSCALE", "TRSV",
-	"SYMM", "SYMMacc", "SYMMred",
+	"SYMM", "SYMMacc", "SYMMred", "CDOTp", "CDOTr", "CAXPBY",
 }
 
 func (k TaskKind) String() string {
@@ -357,6 +366,10 @@ func (b *builder) expand(ci int32, c *program.Call) error {
 		return b.expandSpTrsv(ci, c)
 	case program.CSpMMSym:
 		return b.expandSpMMSym(ci, c)
+	case program.CColDot:
+		b.expandColDot(ci, c)
+	case program.CColAxpby:
+		b.expandColAxpby(ci, c)
 	default:
 		return fmt.Errorf("unknown call kind %v", c.Kind)
 	}
@@ -564,6 +577,47 @@ func (b *builder) expandDot(ci int32, c *program.Call) {
 	}, parts, []Ref{{ScalarRegion(c.Out), 8}})
 }
 
+// expandColDot mirrors expandDot with vector-valued partials: one per-column
+// partial task per row block, then a reduce into the 1×k small output.
+func (b *builder) expandColDot(ci int32, c *program.Call) {
+	p := b.g.Prog
+	n := p.Op(c.A).Cols
+	var parts []Ref
+	for bi := 0; bi < p.NP; bi++ {
+		rows := int64(p.PartRows(bi))
+		pr := Ref{PartialRegion(int(ci), bi), int64(n) * 8}
+		parts = append(parts, pr)
+		reads := []Ref{{VecRegion(c.A, bi), rows * int64(n) * 8}}
+		if c.B != c.A {
+			reads = append(reads, Ref{VecRegion(c.B, bi), rows * int64(n) * 8})
+		}
+		b.addTask(Task{
+			Kind: TColDotPart, Call: ci, P: int32(bi), Q: -1,
+			Flops: 2 * rows * int64(n),
+		}, reads, []Ref{pr})
+	}
+	b.addTask(Task{
+		Kind: TColDotReduce, Call: ci, P: -1, Q: -1,
+		Flops: int64(p.NP) * int64(n),
+	}, parts, []Ref{{SmallRegion(c.Out), int64(n) * 8}})
+}
+
+func (b *builder) expandColAxpby(ci int32, c *program.Call) {
+	p := b.g.Prog
+	n := p.Op(c.Out).Cols
+	for bi := 0; bi < p.NP; bi++ {
+		rows := int64(p.PartRows(bi))
+		b.addTask(Task{
+			Kind: TColAxpby, Call: ci, P: int32(bi), Q: -1,
+			Flops: 3 * rows * int64(n),
+		}, []Ref{
+			{VecRegion(c.A, bi), rows * int64(n) * 8},
+			{VecRegion(c.B, bi), rows * int64(n) * 8},
+			{SmallRegion(c.S), int64(n) * 8},
+		}, []Ref{{VecRegion(c.Out, bi), rows * int64(n) * 8}})
+	}
+}
+
 func (b *builder) expandSmall(ci int32, c *program.Call) {
 	p := b.g.Prog
 	var reads, writes []Ref
@@ -619,6 +673,7 @@ func (b *builder) expandSpTrsv(ci int32, c *program.Call) error {
 	if memo != nil && len(memo) != p.NP {
 		return fmt.Errorf("memoized level deps cover %d blocks, program has %d", len(memo), p.NP)
 	}
+	n := int64(p.Op(c.Out).Cols)
 	var scratch []int32
 	for k := 0; k < p.NP; k++ {
 		bi := k
@@ -639,15 +694,15 @@ func (b *builder) expandSpTrsv(ci int32, c *program.Call) error {
 		reads := make([]Ref, 0, len(deps)+2)
 		reads = append(reads,
 			Ref{TriRegion(c.A, bi), nnz * 12}, // 8B value + 4B column index
-			Ref{VecRegion(c.B, bi), rows * 8},
+			Ref{VecRegion(c.B, bi), rows * n * 8},
 		)
 		for _, j := range deps {
-			reads = append(reads, Ref{VecRegion(c.Out, int(j)), int64(p.PartRows(int(j))) * 8})
+			reads = append(reads, Ref{VecRegion(c.Out, int(j)), int64(p.PartRows(int(j))) * n * 8})
 		}
 		b.addTask(Task{
 			Kind: TTrsv, Call: ci, P: int32(bi), Q: -1,
-			Flops: 2 * nnz,
-		}, reads, []Ref{{VecRegion(c.Out, bi), rows * 8}})
+			Flops: 2 * nnz * n,
+		}, reads, []Ref{{VecRegion(c.Out, bi), rows * n * 8}})
 	}
 	return nil
 }

@@ -191,14 +191,23 @@ func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first, firs
 		tri := st.TriM[c.A]
 		x := st.Vec[c.Out]
 		b := st.Vec[c.B]
+		n := p.Op(c.Out).Cols
 		lo := int(t.P) * p.Block
 		hi := lo + p.PartRows(int(t.P))
-		// Out and B are full-length width-1 vectors; the range forms read
+		// Out and B are full-length vectors; the range forms read
 		// earlier/later entries of x that dependency-predecessor tasks wrote.
-		if c.Upper {
-			tri.UpperSolveRange(x, b, lo, hi)
+		if n == 1 {
+			if c.Upper {
+				tri.UpperSolveRange(x, b, lo, hi)
+			} else {
+				tri.LowerSolveRange(x, b, lo, hi)
+			}
 		} else {
-			tri.LowerSolveRange(x, b, lo, hi)
+			if c.Upper {
+				tri.UpperSolveRangeN(x, b, n, lo, hi)
+			} else {
+				tri.LowerSolveRangeN(x, b, n, lo, hi)
+			}
 		}
 
 	case graph.TSymTile:
@@ -273,6 +282,56 @@ func execPart(g *graph.TDG, kind graph.TaskKind, call, tp, tq int32, first, firs
 			}
 			for ; i < len(out); i++ {
 				out[i] += src[i]
+			}
+		}
+
+	case graph.TColDotPart:
+		a := st.VecPart(c.A, int(t.P))
+		b := st.VecPart(c.B, int(t.P))
+		n := p.Op(c.A).Cols
+		part := st.Partial(int(t.Call), int(t.P))
+		part = part[:n]
+		zero(part)
+		rows := len(a) / n
+		for i := 0; i < rows; i++ {
+			ar := a[i*n : i*n+n]
+			br := b[i*n : i*n+n]
+			for j, av := range ar {
+				part[j] += av * br[j]
+			}
+		}
+
+	case graph.TColDotReduce:
+		out := st.Small[c.Out]
+		zero(out)
+		for bi := 0; bi < p.NP; bi++ {
+			part := st.Partial(int(t.Call), bi)
+			part = part[:len(out)]
+			for i := range out {
+				out[i] += part[i]
+			}
+		}
+		if c.Sqrt {
+			for i := range out {
+				out[i] = math.Sqrt(out[i])
+			}
+		}
+
+	case graph.TColAxpby:
+		a := st.VecPart(c.A, int(t.P))
+		b := st.VecPart(c.B, int(t.P))
+		out := st.VecPart(c.Out, int(t.P))
+		coef := st.Small[c.S]
+		n := p.Op(c.Out).Cols
+		be := c.Beta
+		coef = coef[:n]
+		rows := len(out) / n
+		for i := 0; i < rows; i++ {
+			row := out[i*n : i*n+n]
+			ar := a[i*n : i*n+n]
+			br := b[i*n : i*n+n]
+			for j, cj := range coef {
+				row[j] = ar[j] + be*cj*br[j]
 			}
 		}
 

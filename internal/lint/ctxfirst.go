@@ -7,8 +7,9 @@ import (
 )
 
 // ctxFirstScope is the set of packages whose exported APIs sit on blocking
-// paths: the runtime facade, the scheduler, and the serving layer.
-var ctxFirstScope = []string{"internal/rt", "internal/sched", "internal/server"}
+// paths: the runtime facade, the scheduler, and the serving layer (shard
+// engine and router).
+var ctxFirstScope = []string{"internal/rt", "internal/sched", "internal/server", "internal/route"}
 
 // ctxFirstAnalyzer enforces context discipline in the blocking layers:
 // context.Context must be the first parameter wherever it appears, exported
@@ -170,8 +171,18 @@ func exportedReceiver(fn *ast.FuncDecl, info *types.Info) bool {
 // or Cond.Wait. Func literals are skipped — goroutines the function spawns
 // block on their own schedule, not the caller's.
 func blockingBody(info *types.Info, body *ast.BlockStmt) bool {
+	return blockingNode(info, body)
+}
+
+// blockingStmt is blockingBody for a single statement (a select clause body
+// member).
+func blockingStmt(info *types.Info, s ast.Stmt) bool {
+	return blockingNode(info, s)
+}
+
+func blockingNode(info *types.Info, root ast.Node) bool {
 	blocking := false
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if blocking {
 			return false
 		}
@@ -193,7 +204,21 @@ func blockingBody(info *types.Info, body *ast.BlockStmt) bool {
 			}
 			if !hasDefault {
 				blocking = true
+				return false
 			}
+			// A select with a default never blocks, and neither do its comm
+			// operations (`case ch <- v:` / `case v := <-ch:`) — they only
+			// fire when ready. Walk the clause bodies but skip the comms.
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						if blockingStmt(info, s) {
+							blocking = true
+						}
+					}
+				}
+			}
+			return false
 		case *ast.CallExpr:
 			switch funcFullName(calleeFunc(info, n)) {
 			case "time.Sleep", "(*sync.WaitGroup).Wait", "(*sync.Cond).Wait":

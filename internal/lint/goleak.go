@@ -7,9 +7,10 @@ import (
 )
 
 // goleakScope is where goroutine lifecycles must be provable: the serving
-// layer and the two scheduling substrates spawn long-lived workers whose
-// leaks accumulate under production load.
-var goleakScope = []string{"internal/server", "internal/sched", "internal/rt"}
+// layer (shard engine and router, whose probers live for the process) and
+// the two scheduling substrates spawn long-lived workers whose leaks
+// accumulate under production load.
+var goleakScope = []string{"internal/server", "internal/sched", "internal/rt", "internal/route"}
 
 // goleakAnalyzer requires every `go` statement in the scoped packages to
 // have a statically visible exit path. Accepted evidence, in the spawned

@@ -104,7 +104,8 @@ const (
 	// application kernel. One task per row block.
 	CDiagScale
 	// CSpTrsv: solve the triangular system A·Out = B where A is OpTri and
-	// B, Out are width-1 vecs: forward substitution when Upper is false,
+	// B, Out are equal-width vecs (each of the k columns is solved against
+	// its own right-hand side): forward substitution when Upper is false,
 	// backward when true. Expands into one task per row block whose
 	// dependencies follow the factor's level structure — the irregular DAG
 	// the level-scheduled incomplete-Cholesky literature targets.
@@ -115,6 +116,16 @@ const (
 	// matrix's cached SymSchedule (conflict-free waves, or private
 	// accumulators plus reduction tasks).
 	CSpMMSym
+	// CColDot: Out[0,j] = Σ_i A[i,j]·B[i,j] — a per-column dot product over
+	// equal-width vecs, written into a 1×k OpSmall. One partial task per row
+	// block plus one reduce task, like CDot but vector-valued: the reduction
+	// kernel of batched multi-RHS solvers, where each right-hand side needs
+	// its own scalar. With Sqrt set each column stores its 2-norm.
+	CColDot
+	// CColAxpby: Out[:,j] = A[:,j] + Beta·C[0,j]·B[:,j] where C is a 1×k
+	// OpSmall of per-column coefficients: the batched-solver update kernel
+	// (x += alpha∘p, r -= alpha∘q, p = r + beta∘p). One task per row block.
+	CColAxpby
 )
 
 func (k CallKind) String() string {
@@ -141,6 +152,10 @@ func (k CallKind) String() string {
 		return "TRSV"
 	case CSpMMSym:
 		return "SpMMsym"
+	case CColDot:
+		return "CDOT"
+	case CColAxpby:
+		return "CAXPBY"
 	}
 	return fmt.Sprintf("CallKind(%d)", uint8(k))
 }
@@ -155,7 +170,7 @@ type Call struct {
 	Name        string
 	Out         OperandID
 	A, B        OperandID
-	S           OperandID // scalar input of CScaleInv
+	S           OperandID // scalar input of CScaleInv; 1×k coefficient small of CColAxpby
 	Alpha, Beta float64
 	Sqrt        bool // CDot: store sqrt of the accumulated sum
 	Upper       bool // CSpTrsv: backward (upper-triangular) substitution
@@ -363,6 +378,53 @@ func (p *Program) Norm(out, a OperandID) *Program {
 	return p
 }
 
+// ColDot appends Out[0,j] = Σ_i A[i,j]·B[i,j]: a per-column dot product over
+// vec operands of equal shape, written into a 1×k small operand.
+func (p *Program) ColDot(out, a, b OperandID) *Program {
+	oa := p.check(a, OpVec, "ColDot")
+	ob := p.check(b, OpVec, "ColDot")
+	oo := p.check(out, OpSmall, "ColDot")
+	if oa.Cols != ob.Cols {
+		panic(fmt.Sprintf("program: ColDot width mismatch: %s has %d cols, %s has %d", oa.Name, oa.Cols, ob.Name, ob.Cols))
+	}
+	if oo.Rows != 1 || oo.Cols != oa.Cols {
+		panic(fmt.Sprintf("program: ColDot output %s is %dx%d, want 1x%d", oo.Name, oo.Rows, oo.Cols, oa.Cols))
+	}
+	p.Calls = append(p.Calls, Call{Kind: CColDot, Name: "CDOT", Out: out, A: a, B: b})
+	return p
+}
+
+// ColNorm appends Out[0,j] = ||A[:,j]||₂ (a ColDot with per-column square
+// roots).
+func (p *Program) ColNorm(out, a OperandID) *Program {
+	oa := p.check(a, OpVec, "ColNorm")
+	oo := p.check(out, OpSmall, "ColNorm")
+	if oo.Rows != 1 || oo.Cols != oa.Cols {
+		panic(fmt.Sprintf("program: ColNorm output %s is %dx%d, want 1x%d", oo.Name, oo.Rows, oo.Cols, oa.Cols))
+	}
+	p.Calls = append(p.Calls, Call{Kind: CColDot, Name: "CNORM", Out: out, A: a, B: a, Sqrt: true})
+	return p
+}
+
+// ColAxpby appends Out[:,j] = A[:,j] + beta·C[0,j]·B[:,j] where coef is a 1×k
+// small operand of per-column coefficients: the batched-solver update kernel.
+// A column whose coefficient is zero passes A through unchanged, which is how
+// batched solvers freeze retired (converged) columns.
+func (p *Program) ColAxpby(out, a, coef OperandID, beta float64, b OperandID) *Program {
+	oa := p.check(a, OpVec, "ColAxpby")
+	ob := p.check(b, OpVec, "ColAxpby")
+	oo := p.check(out, OpVec, "ColAxpby")
+	oc := p.check(coef, OpSmall, "ColAxpby")
+	if oa.Cols != ob.Cols || oa.Cols != oo.Cols {
+		panic("program: ColAxpby width mismatch")
+	}
+	if oc.Rows != 1 || oc.Cols != oa.Cols {
+		panic(fmt.Sprintf("program: ColAxpby coefficient %s is %dx%d, want 1x%d", oc.Name, oc.Rows, oc.Cols, oa.Cols))
+	}
+	p.Calls = append(p.Calls, Call{Kind: CColAxpby, Name: "CAXPBY", Out: out, A: a, B: b, S: coef, Beta: beta})
+	return p
+}
+
 // SmallStep appends a sequential task running fn, reading ins and writing
 // outs. ins/outs must be OpSmall or OpScalar operands; block data does not
 // belong in a small step.
@@ -408,13 +470,13 @@ func (p *Program) DiagScale(out, d, a OperandID) *Program {
 }
 
 // SpTrsvLower appends a forward substitution solving L·Out = B, where l is
-// an OpTri lower factor and B, Out are width-1 vecs.
+// an OpTri lower factor and B, Out are vecs of equal width.
 func (p *Program) SpTrsvLower(out, l, b OperandID) *Program {
 	return p.spTrsv(out, l, b, false)
 }
 
 // SpTrsvUpper appends a backward substitution solving U·Out = B, where u is
-// an OpTri upper factor and B, Out are width-1 vecs.
+// an OpTri upper factor and B, Out are vecs of equal width.
 func (p *Program) SpTrsvUpper(out, u, b OperandID) *Program {
 	return p.spTrsv(out, u, b, true)
 }
@@ -423,8 +485,8 @@ func (p *Program) spTrsv(out, tri, b OperandID, upper bool) *Program {
 	p.check(tri, OpTri, "SpTrsv")
 	ob := p.check(b, OpVec, "SpTrsv")
 	oo := p.check(out, OpVec, "SpTrsv")
-	if ob.Cols != 1 || oo.Cols != 1 {
-		panic("program: SpTrsv operands must be width-1 vecs")
+	if ob.Cols != oo.Cols {
+		panic("program: SpTrsv width mismatch")
 	}
 	if out == b {
 		panic("program: SpTrsv output must not alias its right-hand side")

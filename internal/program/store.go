@@ -71,6 +71,8 @@ func NewStore(p *Program) *Store {
 			n = p.Op(c.A).Cols * p.Op(c.B).Cols
 		case CDot:
 			n = 1
+		case CColDot:
+			n = p.Op(c.Out).Cols
 		case CSpMM:
 			if c.ReduceSpMM {
 				// One full-output-height column buffer per partition: the

@@ -1,0 +1,160 @@
+package route
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// shardState is the router's live view of one solverd shard, refreshed by a
+// prober goroutine from GET /healthz (the cheap liveness endpoint, which the
+// server extends with queue depth/capacity exactly so placement never needs
+// the heavier /metrics).
+type shardState struct {
+	name string
+	base string // base URL, no trailing slash
+
+	mu        sync.Mutex
+	healthy   bool
+	draining  bool
+	depth     int
+	capacity  int
+	workers   int
+	lastErr   string
+	lastProbe time.Time
+}
+
+// healthBody mirrors the fields of solverd's /healthz response the router
+// reads.
+type healthBody struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+	Queue   struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+	} `json:"queue"`
+}
+
+// probe refreshes the shard's state with one /healthz round trip. A
+// draining shard answers 503 with a parseable body; it is recorded as
+// unhealthy for placement but distinguished in status reports.
+func (s *shardState) probe(ctx context.Context, client *http.Client) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/healthz", nil)
+	if err != nil {
+		s.setUnhealthy(err.Error())
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		s.setUnhealthy(err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	var body healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		s.setUnhealthy("bad healthz body: " + err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.healthy = resp.StatusCode == http.StatusOK
+	s.draining = body.Status == "draining"
+	s.depth = body.Queue.Depth
+	s.capacity = body.Queue.Capacity
+	s.workers = body.Workers
+	s.lastErr = ""
+	if !s.healthy {
+		s.lastErr = "status " + body.Status
+	}
+	s.lastProbe = time.Now()
+	s.mu.Unlock()
+}
+
+func (s *shardState) setUnhealthy(msg string) {
+	s.mu.Lock()
+	s.healthy = false
+	s.lastErr = msg
+	s.lastProbe = time.Now()
+	s.mu.Unlock()
+}
+
+// markFull records a submit-time 429 so placement sees the full queue
+// immediately instead of waiting out the probe interval.
+func (s *shardState) markFull() {
+	s.mu.Lock()
+	if s.capacity > 0 {
+		s.depth = s.capacity
+	}
+	s.mu.Unlock()
+}
+
+// placeable reports whether the shard can accept new jobs.
+func (s *shardState) placeable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy && !s.draining
+}
+
+// occupancy returns the shard's relative queue load, or -1 when unknown.
+func (s *shardState) occupancy() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity == 0 {
+		return -1
+	}
+	return float64(s.depth) / float64(s.capacity)
+}
+
+// ShardStatus is the externally visible shard health, served on the
+// router's /healthz and /metrics.
+type ShardStatus struct {
+	Name          string `json:"name"`
+	URL           string `json:"url"`
+	Healthy       bool   `json:"healthy"`
+	Draining      bool   `json:"draining,omitempty"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Error         string `json:"error,omitempty"`
+}
+
+// status snapshots the shard under one lock acquisition.
+func (s *shardState) status() ShardStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShardStatus{
+		Name:          s.name,
+		URL:           s.base,
+		Healthy:       s.healthy,
+		Draining:      s.draining,
+		QueueDepth:    s.depth,
+		QueueCapacity: s.capacity,
+		Error:         s.lastErr,
+	}
+}
+
+// prober refreshes one shard on a ticker until Close cancels the router's
+// context; the first probe fires immediately so a freshly started router
+// converges within one round trip, not one interval.
+func (r *Router) prober(s *shardState) {
+	defer r.wg.Done()
+	s.probe(r.ctx, r.client)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			s.probe(r.ctx, r.client)
+		}
+	}
+}
+
+// ProbeNow synchronously refreshes every shard — used by tests and by
+// cmd/solverfront at startup so the first request sees real health.
+func (r *Router) ProbeNow(ctx context.Context) {
+	for _, s := range r.shards {
+		s.probe(ctx, r.client)
+	}
+}

@@ -1,0 +1,486 @@
+package route
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparsetask/internal/server"
+)
+
+// tridiagMM renders an SPD tridiagonal [-1 4 -1] MatrixMarket document; the
+// dimension n changes the structure, so different n produce different
+// fingerprints.
+func tridiagMM(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", n, n, 3*n-2)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "%d %d 4.0\n", i, i)
+		if i < n {
+			fmt.Fprintf(&b, "%d %d -1.0\n", i, i+1)
+			fmt.Fprintf(&b, "%d %d -1.0\n", i+1, i)
+		}
+	}
+	return b.String()
+}
+
+func cgSpec(mm string, seed int64) server.JobSpec {
+	return server.JobSpec{
+		Solver:  "cg",
+		Backend: "bsp",
+		Matrix:  server.MatrixSpec{MM: mm},
+		Seed:    seed,
+	}
+}
+
+func TestRankDeterministicAndStableUnderRemoval(t *testing.T) {
+	names := []string{"alpha", "bravo", "charlie", "delta"}
+	picked := map[string]bool{}
+	for fp := uint64(0); fp < 200; fp++ {
+		a := Rank(names, fp)
+		b := Rank(names, fp)
+		if len(a) != len(names) {
+			t.Fatalf("Rank dropped names: %v", a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("fp %d: Rank not deterministic: %v vs %v", fp, a, b)
+			}
+		}
+		picked[a[0]] = true
+
+		// Removing a shard must remap ONLY the fingerprints that ranked it
+		// first; everything else keeps its placement.
+		without := []string{"alpha", "bravo", "delta"}
+		c := Rank(without, fp)
+		if a[0] != "charlie" && c[0] != a[0] {
+			t.Fatalf("fp %d: removing charlie remapped %s -> %s", fp, a[0], c[0])
+		}
+		if a[0] == "charlie" && c[0] != a[1] {
+			t.Fatalf("fp %d: charlie's traffic should fall to second choice %s, got %s", fp, a[1], c[0])
+		}
+	}
+	if len(picked) != len(names) {
+		t.Fatalf("200 fingerprints only ever picked %d/%d shards — hash badly skewed", len(picked), len(names))
+	}
+}
+
+// fakeShard is a minimal solverd stand-in with scriptable queue depth and
+// submit status, for deterministic spill and backpressure tests.
+type fakeShard struct {
+	mu       sync.Mutex
+	submits  int
+	depth    int
+	capacity int
+	status   int
+	srv      *httptest.Server
+}
+
+func newFakeShard(t *testing.T) *fakeShard {
+	t.Helper()
+	f := &fakeShard{capacity: 16, status: http.StatusAccepted}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		d, c := f.depth, f.capacity
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","workers":2,"queue":{"depth":%d,"capacity":%d}}`, d, c)
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.submits++
+		n, st := f.submits, f.status
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if st != http.StatusAccepted {
+			w.WriteHeader(st)
+			fmt.Fprint(w, `{"error":"queue full (16 jobs)"}`)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":"job-%d","state":"queued","solver":"cg","backend":"bsp","submitted_at":"2026-01-01T00:00:00Z"}`, n)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeShard) set(depth, status int) {
+	f.mu.Lock()
+	f.depth = depth
+	f.status = status
+	f.mu.Unlock()
+}
+
+func (f *fakeShard) submitted() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.submits
+}
+
+func newTestRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		// Keep the background probers quiet; tests drive ProbeNow directly.
+		cfg.ProbeInterval = time.Hour
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatalf("route.New: %v", err)
+	}
+	t.Cleanup(r.Close)
+	r.ProbeNow(context.Background())
+	return r
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, spec server.JobSpec) (server.JobView, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var v server.JobView
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode job view: %v", err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func shardOf(t *testing.T, v server.JobView) string {
+	t.Helper()
+	name, _, ok := strings.Cut(v.ID, ":")
+	if !ok {
+		t.Fatalf("job id %q is not shard-qualified", v.ID)
+	}
+	return name
+}
+
+func TestRoutingDeterministicAcrossRestarts(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	cfg := Config{Shards: []Shard{{Name: "s0", URL: a.srv.URL}, {Name: "s1", URL: b.srv.URL}}}
+
+	mm := tridiagMM(24)
+	fp, err := server.SpecFingerprint(server.MatrixSpec{MM: mm})
+	if err != nil {
+		t.Fatalf("SpecFingerprint: %v", err)
+	}
+
+	r1 := newTestRouter(t, cfg)
+	ts1 := httptest.NewServer(r1.Handler())
+	defer ts1.Close()
+	want := r1.Assign(fp)
+	var first string
+	for i := 0; i < 4; i++ {
+		v, status := postSpec(t, ts1, cgSpec(mm, int64(i+1)))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, status)
+		}
+		got := shardOf(t, v)
+		if got != want {
+			t.Fatalf("submit %d landed on %s, rendezvous says %s", i, got, want)
+		}
+		if first == "" {
+			first = got
+		} else if got != first {
+			t.Fatalf("same matrix split across shards: %s then %s", first, got)
+		}
+	}
+
+	// A fresh router over the same fleet — a restart — must agree without
+	// any shared state.
+	r2 := newTestRouter(t, cfg)
+	ts2 := httptest.NewServer(r2.Handler())
+	defer ts2.Close()
+	if r2.Assign(fp) != want {
+		t.Fatalf("restarted router assigns %s, want %s", r2.Assign(fp), want)
+	}
+	v, status := postSpec(t, ts2, cgSpec(mm, 99))
+	if status != http.StatusAccepted {
+		t.Fatalf("restart submit: status %d", status)
+	}
+	if got := shardOf(t, v); got != first {
+		t.Fatalf("restarted router placed the matrix on %s, original used %s", got, first)
+	}
+}
+
+func TestSpillToSecondChoiceWhenPrimaryDeep(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	cfg := Config{
+		Shards:        []Shard{{Name: "s0", URL: a.srv.URL}, {Name: "s1", URL: b.srv.URL}},
+		SpillFraction: 0.75,
+	}
+	r := newTestRouter(t, cfg)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	mm := tridiagMM(16)
+	fp, err := server.SpecFingerprint(server.MatrixSpec{MM: mm})
+	if err != nil {
+		t.Fatalf("SpecFingerprint: %v", err)
+	}
+	primary := r.Assign(fp)
+	shards := map[string]*fakeShard{"s0": a, "s1": b}
+	second := "s0"
+	if primary == "s0" {
+		second = "s1"
+	}
+
+	// Below threshold: affinity wins.
+	v, status := postSpec(t, ts, cgSpec(mm, 1))
+	if status != http.StatusAccepted || shardOf(t, v) != primary {
+		t.Fatalf("light load: status %d shard %s, want 202 on %s", status, shardOf(t, v), primary)
+	}
+
+	// Primary at 15/16 occupancy, runner-up empty: the job must spill.
+	shards[primary].set(15, http.StatusAccepted)
+	r.ProbeNow(context.Background())
+	v, status = postSpec(t, ts, cgSpec(mm, 2))
+	if status != http.StatusAccepted {
+		t.Fatalf("spill submit: status %d", status)
+	}
+	if got := shardOf(t, v); got != second {
+		t.Fatalf("deep primary: job landed on %s, want spill to %s", got, second)
+	}
+	if r.spilled.Load() != 1 {
+		t.Fatalf("spilled counter = %d, want 1", r.spilled.Load())
+	}
+
+	// Both equally saturated: no point bouncing — stay with affinity.
+	shards[second].set(15, http.StatusAccepted)
+	r.ProbeNow(context.Background())
+	v, status = postSpec(t, ts, cgSpec(mm, 3))
+	if status != http.StatusAccepted || shardOf(t, v) != primary {
+		t.Fatalf("uniform saturation: status %d shard %s, want 202 on %s", status, shardOf(t, v), primary)
+	}
+}
+
+func TestBackpressureRetryThen429(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	cfg := Config{Shards: []Shard{{Name: "s0", URL: a.srv.URL}, {Name: "s1", URL: b.srv.URL}}}
+	r := newTestRouter(t, cfg)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	mm := tridiagMM(20)
+	fp, err := server.SpecFingerprint(server.MatrixSpec{MM: mm})
+	if err != nil {
+		t.Fatalf("SpecFingerprint: %v", err)
+	}
+	primary := r.Assign(fp)
+	shards := map[string]*fakeShard{"s0": a, "s1": b}
+	second := "s0"
+	if primary == "s0" {
+		second = "s1"
+	}
+
+	// Primary rejects with 429: the router retries the second choice once.
+	shards[primary].set(0, http.StatusTooManyRequests)
+	v, status := postSpec(t, ts, cgSpec(mm, 1))
+	if status != http.StatusAccepted {
+		t.Fatalf("fallback submit: status %d", status)
+	}
+	if got := shardOf(t, v); got != second {
+		t.Fatalf("429 at primary: job landed on %s, want fallback %s", got, second)
+	}
+
+	// Both reject: backpressure reaches the client as 429.
+	shards[second].set(0, http.StatusTooManyRequests)
+	_, status = postSpec(t, ts, cgSpec(mm, 2))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("fleet-wide 429: client saw %d, want 429", status)
+	}
+	if r.rejected.Load() != 1 {
+		t.Fatalf("rejected counter = %d, want 1", r.rejected.Load())
+	}
+}
+
+func TestNoHealthyShard503(t *testing.T) {
+	dead := httptest.NewServer(http.NewServeMux())
+	url := dead.URL
+	dead.Close() // nothing listening
+	r := newTestRouter(t, Config{Shards: []Shard{{Name: "s0", URL: url}}})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	_, status := postSpec(t, ts, cgSpec(tridiagMM(8), 1))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("dead fleet: status %d, want 503", status)
+	}
+	if r.unrouteable.Load() == 0 {
+		t.Fatalf("unrouteable counter not incremented")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("router /healthz = %d with no healthy shard, want 503", resp.StatusCode)
+	}
+}
+
+// TestEndToEndTwoEngines drives the router against two REAL server engines:
+// jobs route by fingerprint, complete, and are addressable back through the
+// router's namespaced IDs; /jobs merges both shards; /metrics aggregates.
+func TestEndToEndTwoEngines(t *testing.T) {
+	mkShard := func() (*server.Server, *httptest.Server) {
+		s := server.New(server.Config{
+			QueueSize:      32,
+			Workers:        2,
+			RTWorkers:      2,
+			CoalesceMax:    4,
+			CoalesceWindow: 20 * time.Millisecond,
+		})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = s.Drain(ctx)
+		})
+		return s, ts
+	}
+	_, tsA := mkShard()
+	_, tsB := mkShard()
+
+	r := newTestRouter(t, Config{
+		Shards: []Shard{{Name: "left", URL: tsA.URL}, {Name: "right", URL: tsB.URL}},
+	})
+	front := httptest.NewServer(r.Handler())
+	defer front.Close()
+
+	// Two structurally distinct matrices; submit a few jobs of each.
+	mats := []string{tridiagMM(32), tridiagMM(48)}
+	shardByMat := make([]string, len(mats))
+	var ids []string
+	for mi, mm := range mats {
+		for seed := int64(1); seed <= 3; seed++ {
+			v, status := postSpec(t, front, cgSpec(mm, seed))
+			if status != http.StatusAccepted {
+				t.Fatalf("matrix %d seed %d: status %d", mi, seed, status)
+			}
+			got := shardOf(t, v)
+			if shardByMat[mi] == "" {
+				shardByMat[mi] = got
+			} else if got != shardByMat[mi] {
+				t.Fatalf("matrix %d split across shards: %s then %s", mi, shardByMat[mi], got)
+			}
+			ids = append(ids, v.ID)
+		}
+	}
+
+	// Every job reaches a terminal state through the router's GET.
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range ids {
+		for {
+			resp, err := http.Get(front.URL + "/jobs/" + id)
+			if err != nil {
+				t.Fatalf("GET /jobs/%s: %v", id, err)
+			}
+			var v server.JobView
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Fatalf("decode %s: %v", id, err)
+			}
+			resp.Body.Close()
+			if v.State == server.StateDone {
+				if v.Result == nil || !v.Result.Converged {
+					t.Fatalf("job %s done but not converged: %+v", id, v.Result)
+				}
+				break
+			}
+			if v.State == server.StateFailed || v.State == server.StateCanceled {
+				t.Fatalf("job %s ended %s: %s", id, v.State, v.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %s at deadline", id, v.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// The merged listing shows all jobs with namespaced IDs.
+	resp, err := http.Get(front.URL + "/jobs")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	var all []server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatalf("decode /jobs: %v", err)
+	}
+	resp.Body.Close()
+	listed := map[string]bool{}
+	for _, v := range all {
+		listed[v.ID] = true
+	}
+	for _, id := range ids {
+		if !listed[id] {
+			t.Fatalf("job %s missing from merged /jobs listing (%d listed)", id, len(all))
+		}
+	}
+
+	// Aggregated metrics see the whole fleet.
+	resp, err = http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var ms MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&ms); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	resp.Body.Close()
+	if ms.Totals.Done < int64(len(ids)) {
+		t.Fatalf("aggregated done = %d, want >= %d", ms.Totals.Done, len(ids))
+	}
+	if ms.Router.Submitted != int64(len(ids)) {
+		t.Fatalf("router submitted = %d, want %d", ms.Router.Submitted, len(ids))
+	}
+	if len(ms.ShardDetail) != 2 {
+		t.Fatalf("shard detail for %d shards, want 2", len(ms.ShardDetail))
+	}
+	if h, m, _ := r.fps.stats(); h+m != int64(len(ids)) || m != int64(len(mats)) {
+		t.Fatalf("fingerprint cache hits=%d misses=%d, want misses=%d and hits+misses=%d",
+			h, m, len(mats), len(ids))
+	}
+
+	// Cancel through the router resolves the namespaced ID (terminal job:
+	// cancel is a no-op but must route and answer 200).
+	reqDel, err := http.NewRequestWithContext(context.Background(), http.MethodDelete, front.URL+"/jobs/"+ids[0], nil)
+	if err != nil {
+		t.Fatalf("new DELETE: %v", err)
+	}
+	dresp, err := http.DefaultClient.Do(reqDel)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE %s: status %d", ids[0], dresp.StatusCode)
+	}
+
+	// Unknown shard prefix and unqualified IDs are 404s at the router.
+	for _, bad := range []string{"nope:job-1", "job-1"} {
+		resp, err := http.Get(front.URL + "/jobs/" + bad)
+		if err != nil {
+			t.Fatalf("GET bad id: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET /jobs/%s: status %d, want 404", bad, resp.StatusCode)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"sparsetask/internal/autotune"
@@ -43,18 +44,18 @@ func newRuntime(backend string, workers int, tp topo.Topology) rt.Runtime {
 }
 
 // effectiveWorkers resolves a job's runtime worker count.
-func (s *Server) effectiveWorkers(spec JobSpec) int {
+func (e *Engine) effectiveWorkers(spec JobSpec) int {
 	if spec.Workers > 0 {
 		return spec.Workers
 	}
-	if s.cfg.RTWorkers > 0 {
-		return s.cfg.RTWorkers
+	if e.cfg.RTWorkers > 0 {
+		return e.cfg.RTWorkers
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
 // execute runs one dequeued job through plan + solve and records metrics.
-func (s *Server) execute(job *Job) {
+func (e *Engine) execute(job *Job) {
 	job.mu.Lock()
 	if job.state != StateQueued { // cancelled while queued
 		job.mu.Unlock()
@@ -63,7 +64,7 @@ func (s *Server) execute(job *Job) {
 	start := time.Now()
 	job.state = StateRunning
 	job.started = start
-	ctx := s.baseCtx
+	ctx := e.baseCtx
 	var cancel context.CancelFunc
 	if job.Spec.DeadlineMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.Spec.DeadlineMS)*time.Millisecond)
@@ -73,9 +74,10 @@ func (s *Server) execute(job *Job) {
 	job.cancel = cancel
 	job.mu.Unlock()
 	defer cancel()
-	s.metrics.QueueWait.Observe(start.Sub(job.submitted))
+	e.metrics.QueueWait.Observe(start.Sub(job.submitted))
+	e.metrics.QueueWaitKind.Observe(job.Spec.Solver, start.Sub(job.submitted))
 
-	res, err := s.run(ctx, job.Spec)
+	res, err := e.run(ctx, job.Spec)
 
 	fin := time.Now()
 	job.mu.Lock()
@@ -85,25 +87,261 @@ func (s *Server) execute(job *Job) {
 	case err == nil:
 		job.state = StateDone
 		job.result = res
-		s.metrics.Done.Add(1)
+		e.metrics.Done.Add(1)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		job.state = StateCanceled
 		job.err = err.Error()
-		s.metrics.Canceled.Add(1)
+		e.metrics.Canceled.Add(1)
 	default:
 		job.state = StateFailed
 		job.err = err.Error()
-		s.metrics.Failed.Add(1)
+		e.metrics.Failed.Add(1)
 	}
 	job.mu.Unlock()
-	s.metrics.Total.Observe(fin.Sub(job.submitted))
+	e.metrics.Total.Observe(fin.Sub(job.submitted))
+}
+
+// batchCancel aggregates DELETE requests across a batch's members. The
+// shared solve context is cancelled only once every live member has asked —
+// the multi-RHS iteration cannot abandon one column mid-run, and a retired
+// column costs almost nothing — but members that asked are still marked
+// canceled when the batch completes, so a DELETE is never silently ignored.
+type batchCancel struct {
+	mu        sync.Mutex
+	armed     bool
+	total     int
+	requested map[*Job]bool
+	cancel    context.CancelFunc
+}
+
+// request registers one member's cancellation vote. Callers hold j.mu, so
+// request must not touch any job's mutex.
+func (bc *batchCancel) request(j *Job) {
+	bc.mu.Lock()
+	bc.requested[j] = true
+	fire := bc.armed && len(bc.requested) >= bc.total
+	bc.mu.Unlock()
+	if fire {
+		bc.cancel()
+	}
+}
+
+// arm sets the member count once the batch's live set is known. Votes cast
+// before arming (between a member's claim and arm) are honored here.
+func (bc *batchCancel) arm(n int) {
+	bc.mu.Lock()
+	bc.armed = true
+	bc.total = n
+	fire := n > 0 && len(bc.requested) >= n
+	bc.mu.Unlock()
+	if fire {
+		bc.cancel()
+	}
+}
+
+// requestedFor reports whether a member voted to cancel.
+func (bc *batchCancel) requestedFor(j *Job) bool {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.requested[j]
+}
+
+// executeBatch runs one dispatcher group. Singleton groups (and groups
+// reduced to one live member by cancel-while-queued) take the exact
+// single-job path; larger groups run as one multi-RHS batched solve.
+func (e *Engine) executeBatch(group []*Job) {
+	live := 0
+	for _, j := range group {
+		if j.StateNow() == StateQueued {
+			live++
+		}
+	}
+	if live <= 1 {
+		if live == 1 {
+			e.metrics.BatchSizes.Observe(group[0].Spec.Solver, 1)
+		}
+		for _, j := range group {
+			e.execute(j)
+		}
+		return
+	}
+	e.runBatchJobs(group)
+}
+
+// runBatchJobs claims a group's still-queued members, runs them as one
+// batched solve, and distributes the per-column outcomes.
+func (e *Engine) runBatchJobs(group []*Job) {
+	start := time.Now()
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	defer cancel()
+	bc := &batchCancel{requested: make(map[*Job]bool), cancel: cancel}
+
+	jobs := make([]*Job, 0, len(group))
+	for _, j := range group {
+		j.mu.Lock()
+		if j.state != StateQueued { // cancelled between dispatch and claim
+			j.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = start
+		member := j
+		j.cancel = func() { bc.request(member) }
+		j.mu.Unlock()
+		e.metrics.QueueWait.Observe(start.Sub(j.submitted))
+		e.metrics.QueueWaitKind.Observe(j.Spec.Solver, start.Sub(j.submitted))
+		jobs = append(jobs, j)
+	}
+	bc.arm(len(jobs))
+	if len(jobs) == 0 {
+		return
+	}
+	e.metrics.BatchSizes.Observe(jobs[0].Spec.Solver, len(jobs))
+	if len(jobs) >= 2 {
+		e.metrics.CoalescedBatches.Add(1)
+		e.metrics.BatchedJobs.Add(int64(len(jobs)))
+	}
+	e.mu.Lock()
+	e.batchSeq++
+	batchID := fmt.Sprintf("batch-%d", e.batchSeq)
+	e.mu.Unlock()
+
+	results, shared, err := e.runBatch(ctx, jobs)
+
+	fin := time.Now()
+	for i, j := range jobs {
+		j.mu.Lock()
+		j.finished = fin
+		j.cancel = nil
+		switch {
+		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+			j.state = StateCanceled
+			j.err = err.Error()
+			e.metrics.Canceled.Add(1)
+		case err != nil:
+			j.state = StateFailed
+			j.err = err.Error()
+			e.metrics.Failed.Add(1)
+		case bc.requestedFor(j):
+			j.state = StateCanceled
+			j.err = "canceled while batched"
+			e.metrics.Canceled.Add(1)
+		case !results[i].Converged:
+			j.state = StateFailed
+			j.err = fmt.Sprintf("%s did not converge after %d iterations (relres %.3e)",
+				j.Spec.Solver, results[i].Iterations, results[i].RelRes)
+			e.metrics.Failed.Add(1)
+		default:
+			res := *shared
+			res.Iterations = results[i].Iterations
+			res.Residual = results[i].RelRes
+			res.Converged = true
+			res.BatchID = batchID
+			res.BatchSize = len(jobs)
+			res.BatchIndex = i
+			j.state = StateDone
+			j.result = &res
+			e.metrics.Done.Add(1)
+		}
+		j.mu.Unlock()
+		e.metrics.Total.Observe(fin.Sub(j.submitted))
+	}
+}
+
+// runBatch materializes the shared matrix, plan, and (for pcg) factors once,
+// then solves every member's right-hand side in one width-k program. The
+// members agree on solver, backend, workers, block, and matrix identity (the
+// coalesce key), differing only in their RHS seeds. The returned JobResult
+// holds the batch-invariant fields each member's result is copied from.
+func (e *Engine) runBatch(ctx context.Context, jobs []*Job) ([]solver.BatchColResult, *JobResult, error) {
+	spec := jobs[0].Spec
+	planStart := time.Now()
+	coo, err := spec.Matrix.buildMatrix()
+	if err != nil {
+		return nil, nil, fmt.Errorf("matrix: %w", err)
+	}
+	csr := coo.ToCSR()
+	stats := sparse.ComputeStats(csr)
+	workers := e.effectiveWorkers(spec)
+	plan, source, err := e.resolvePlan(spec, coo, stats, workers)
+	e.metrics.PlanStage.Observe(time.Since(planStart))
+	if err != nil {
+		return nil, nil, fmt.Errorf("plan: %w", err)
+	}
+	var mat sparse.Matrix
+	if stats.Symmetric {
+		sym, err := coo.ToSymCSB(plan.Block)
+		if err != nil {
+			return nil, nil, fmt.Errorf("symcsb: %w", err)
+		}
+		mat = sym
+	} else {
+		mat = coo.ToCSB(plan.Block)
+	}
+	rows := coo.Rows
+	rtm := e.runtimeFor(spec.Backend, workers)
+
+	k := len(jobs)
+	bs := make([][]float64, k)
+	for i, j := range jobs {
+		seed := j.Spec.Seed
+		if seed == 0 {
+			seed = defaultJobSeed
+		}
+		bs[i] = solver.RandomRHS(rows, seed)
+	}
+	shared := &JobResult{
+		MatrixRows: rows,
+		MatrixNNZ:  coo.NNZ(),
+		Block:      plan.Block,
+		BlockCount: plan.BlockCount,
+		PlanSource: source,
+		SymStorage: stats.Symmetric,
+	}
+
+	solveStart := time.Now()
+	var results []solver.BatchColResult
+	switch spec.Solver {
+	case "cg":
+		c, err := solver.NewBatchCG(mat, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		results, err = c.Solve(ctx, rtm, bs)
+		if err != nil {
+			return nil, nil, err
+		}
+	case "pcg":
+		f, fsource, err := e.resolveFactors(csr, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		low, up, analysed := f.LevelsFor(plan.Block)
+		if analysed {
+			e.metrics.LevelAnalyses.Add(1)
+		}
+		c, err := solver.NewBatchPCG(mat, f.M, k, low, up)
+		if err != nil {
+			return nil, nil, err
+		}
+		results, err = c.Solve(ctx, rtm, bs)
+		if err != nil {
+			return nil, nil, err
+		}
+		shared.Precond = f.M.Kind.String()
+		shared.FactorSource = fsource
+	default:
+		return nil, nil, fmt.Errorf("solver %q is not batchable", spec.Solver)
+	}
+	e.metrics.Solve.Observe(time.Since(solveStart))
+	return results, shared, nil
 }
 
 // run materializes the matrix, resolves a tiling plan, and solves. The
 // matrix's structural stats are computed once here and feed both the plan key
 // and the storage choice: symmetric matrices are stored as SymCSB (lower
 // triangle + diagonal) and solved through the symmetry-exploiting kernels.
-func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
+func (e *Engine) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	planStart := time.Now()
 	coo, err := spec.Matrix.buildMatrix()
 	if err != nil {
@@ -111,9 +349,9 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	}
 	csr := coo.ToCSR()
 	stats := sparse.ComputeStats(csr)
-	workers := s.effectiveWorkers(spec)
-	plan, source, err := s.resolvePlan(spec, coo, stats, workers)
-	s.metrics.PlanStage.Observe(time.Since(planStart))
+	workers := e.effectiveWorkers(spec)
+	plan, source, err := e.resolvePlan(spec, coo, stats, workers)
+	e.metrics.PlanStage.Observe(time.Since(planStart))
 	if err != nil {
 		return nil, fmt.Errorf("plan: %w", err)
 	}
@@ -128,7 +366,7 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		mat = coo.ToCSB(plan.Block)
 	}
 	rows := coo.Rows
-	rtm := s.runtimeFor(spec.Backend, workers)
+	rtm := e.runtimeFor(spec.Backend, workers)
 
 	seed := spec.Seed
 	if seed == 0 {
@@ -202,13 +440,13 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		res.Residual = relres
 		res.Converged = true
 	case "pcg":
-		f, source, err := s.resolveFactors(csr, stats)
+		f, source, err := e.resolveFactors(csr, stats)
 		if err != nil {
 			return nil, err
 		}
 		low, up, analysed := f.LevelsFor(plan.Block)
 		if analysed {
-			s.metrics.LevelAnalyses.Add(1)
+			e.metrics.LevelAnalyses.Add(1)
 		}
 		c, err := solver.NewPCGWithLevels(mat, f.M, low, up)
 		if err != nil {
@@ -227,7 +465,7 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	default:
 		return nil, fmt.Errorf("unknown solver %q", spec.Solver)
 	}
-	s.metrics.Solve.Observe(time.Since(solveStart))
+	e.metrics.Solve.Observe(time.Since(solveStart))
 	return res, nil
 }
 
@@ -235,17 +473,17 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 // ad-hoc one when the job overrides the worker count. Shared instances are
 // exercised concurrently by the pool — the pattern rt.Runtime documents as
 // safe (each job has its own TDG and store).
-func (s *Server) runtimeFor(backend string, workers int) rt.Runtime {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.runtimes == nil {
-		s.runtimes = make(map[runtimeKey]rt.Runtime)
+func (e *Engine) runtimeFor(backend string, workers int) rt.Runtime {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.runtimes == nil {
+		e.runtimes = make(map[runtimeKey]rt.Runtime)
 	}
 	k := runtimeKey{backend, workers}
-	r, ok := s.runtimes[k]
+	r, ok := e.runtimes[k]
 	if !ok {
-		r = newRuntime(backend, workers, s.topo)
-		s.runtimes[k] = r
+		r = newRuntime(backend, workers, e.topo)
+		e.runtimes[k] = r
 	}
 	return r
 }
@@ -260,7 +498,7 @@ type runtimeKey struct {
 // under the matrix's structural fingerprint. Matrices too small to tune get
 // a single-tile fallback (also cached, so they only pay the failed sweep
 // once).
-func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, stats sparse.Stats, workers int) (Plan, string, error) {
+func (e *Engine) resolvePlan(spec JobSpec, coo *sparse.COO, stats sparse.Stats, workers int) (Plan, string, error) {
 	rows := coo.Rows
 	if spec.Block > 0 {
 		return Plan{
@@ -273,10 +511,10 @@ func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, stats sparse.Stats, 
 		Solver:      spec.Solver,
 		Backend:     spec.Backend,
 		Workers:     workers,
-		Topo:        s.topo.Name,
+		Topo:        e.topo.Name,
 		SymStorage:  stats.Symmetric,
 	}
-	if p, ok := s.plans.Get(key); ok {
+	if p, ok := e.plans.Get(key); ok {
 		return p, "cache", nil
 	}
 
@@ -284,15 +522,15 @@ func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, stats sparse.Stats, 
 	if spec.Solver == "lobpcg" {
 		sv = autotune.LOBPCG
 	}
-	s.metrics.AutotuneSweeps.Add(1)
+	e.metrics.AutotuneSweeps.Add(1)
 	res, err := autotune.Tune(rows, autotune.GraphEvaluator(coo, sv, workers, tuneFlopsPerNs, tuneOverheadNs))
 	if err != nil {
 		p := Plan{Block: rows, BlockCount: 1}
-		s.plans.Put(key, p)
+		e.plans.Put(key, p)
 		return p, "fallback", nil
 	}
 	p := Plan{Block: res.Block, BlockCount: res.BlockCount, Bin: res.Bin}
-	s.plans.Put(key, p)
+	e.plans.Put(key, p)
 	return p, "autotune", nil
 }
 
@@ -303,17 +541,17 @@ func (s *Server) resolvePlan(spec JobSpec, coo *sparse.COO, stats sparse.Stats, 
 // they are shared across backends, worker counts, and tilings. The
 // fingerprint hashes the symmetry bit, so symmetric-storage jobs never share
 // factors with a general matrix that merely collides structurally.
-func (s *Server) resolveFactors(csr *sparse.CSR, stats sparse.Stats) (*Factorization, string, error) {
+func (e *Engine) resolveFactors(csr *sparse.CSR, stats sparse.Stats) (*Factorization, string, error) {
 	fp := stats.Fingerprint()
-	if f, ok := s.factors.Get(fp); ok {
+	if f, ok := e.factors.Get(fp); ok {
 		return f, "cache", nil
 	}
-	s.metrics.Factorizations.Add(1)
+	e.metrics.Factorizations.Add(1)
 	m, err := precond.Factorize(csr)
 	if err != nil {
 		return nil, "", fmt.Errorf("ic0: %w", err)
 	}
 	f := NewFactorization(m)
-	s.factors.Put(fp, f)
+	e.factors.Put(fp, f)
 	return f, "computed", nil
 }

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"sparsetask/internal/sparse"
+)
+
+// identity names the matrix's *values*, not just its structure: the
+// generator coordinates (suite, preset, generator seed) for synthetic
+// matrices, or an FNV-1a hash of the MatrixMarket document for inline ones.
+// The batch coalescer keys on identity because two generator seeds share a
+// sparsity pattern — and hence a structural fingerprint — while holding
+// different values, and a multi-RHS solve must multiply one matrix.
+// Defaults are normalized the same way buildMatrix applies them, so
+// equivalent specs get equal identities.
+func (s *MatrixSpec) identity() string {
+	if s.MM != "" {
+		h := fnv.New64a()
+		h.Write([]byte(s.MM))
+		return fmt.Sprintf("mm:%016x", h.Sum64())
+	}
+	preset := s.Preset
+	if preset == "" {
+		preset = "tiny"
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return fmt.Sprintf("suite:%s|%s|%d", s.Suite, preset, seed)
+}
+
+// SpecFingerprint materializes a spec's matrix and returns its structural
+// fingerprint (sparse.Stats.Fingerprint) — the affinity key the scale-out
+// router (internal/route) hashes to pin repeat traffic for a matrix onto the
+// shard already holding its autotune plan and IC(0) factors. It is a pure
+// function of the spec, so router and shard agree without a round trip; the
+// router memoizes it per MatrixSpec.identity because building the matrix is
+// the expensive part.
+func SpecFingerprint(spec MatrixSpec) (uint64, error) {
+	coo, err := spec.buildMatrix()
+	if err != nil {
+		return 0, err
+	}
+	return sparse.ComputeStats(coo.ToCSR()).Fingerprint(), nil
+}

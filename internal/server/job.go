@@ -1,13 +1,18 @@
-// Package server implements solverd's serving layer: an HTTP/JSON front end
-// that admits sparse-solver jobs into a bounded FIFO queue, executes them on
-// a worker pool over the exec-mode runtimes (internal/rt), memoizes
-// autotuned block sizes in an LRU plan cache keyed by matrix fingerprint,
-// and reports on itself via /metrics and /healthz.
+// Package server implements solverd's serving layer in two parts. Engine is
+// the transport-agnostic core: it admits sparse-solver jobs into a bounded
+// FIFO queue, coalesces same-matrix cg/pcg jobs into multi-RHS batched
+// solves, executes them on a worker pool over the exec-mode runtimes
+// (internal/rt), and memoizes autotuned block sizes and IC(0) factors in
+// fingerprint-keyed LRU caches. Server is the thin HTTP/JSON skin over it,
+// serving /jobs, /metrics, and /healthz.
 //
 // The subsystem is the first step from the paper's offline evaluation toward
 // the ROADMAP's production north star: the paper shows runtime and block
 // size choice dominate performance; a serving layer can amortize that choice
-// across repeat traffic instead of re-deriving it per request.
+// across repeat traffic instead of re-deriving it per request — and the
+// batch coalescer amortizes the matrix stream itself, turning k queued
+// solves into one SpMM-driven iteration. internal/route scales the same API
+// across N engines with fingerprint-affinity routing.
 package server
 
 import (
@@ -163,6 +168,13 @@ type JobResult struct {
 	// FactorSource records where a pcg job's factorization came from:
 	// "cache" (factor-cache hit, levels memoized too) or "computed".
 	FactorSource string `json:"factor_source,omitempty"`
+	// BatchID, BatchSize, and BatchIndex identify the multi-RHS coalesced
+	// batch the job executed in; set only when the dispatcher merged >= 2
+	// jobs. BatchIndex is the job's column in the batched solve (the first
+	// column's 0 is omitted from JSON — group by BatchID instead).
+	BatchID    string `json:"batch_id,omitempty"`
+	BatchSize  int    `json:"batch_size,omitempty"`
+	BatchIndex int    `json:"batch_index,omitempty"`
 }
 
 // Job is one tracked solve. All mutable fields are guarded by mu.

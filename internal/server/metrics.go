@@ -2,6 +2,7 @@ package server
 
 import (
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,128 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// HistogramSet keys Histograms by a small dynamic label — the solver kind —
+// for the per-kind latency breakdowns on /metrics.
+type HistogramSet struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// Observe records one duration under the given kind.
+func (s *HistogramSet) Observe(kind string, d time.Duration) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]*Histogram)
+	}
+	h := s.m[kind]
+	if h == nil {
+		h = &Histogram{}
+		s.m[kind] = h
+	}
+	s.mu.Unlock()
+	h.Observe(d)
+}
+
+// Snapshot freezes every kind's histogram. Never nil, so the JSON field is
+// {} rather than null before the first observation.
+func (s *HistogramSet) Snapshot() map[string]HistogramSnapshot {
+	s.mu.Lock()
+	hs := make(map[string]*Histogram, len(s.m))
+	for k, h := range s.m {
+		hs[k] = h
+	}
+	s.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(hs))
+	for k, h := range hs {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+// SizeHistogram counts small integer observations — dispatcher batch sizes —
+// exactly, rather than in log buckets.
+type SizeHistogram struct {
+	mu     sync.Mutex
+	counts map[int]int64
+	count  int64
+	sum    int64
+	max    int
+}
+
+// Observe records one size.
+func (h *SizeHistogram) Observe(n int) {
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	h.counts[n]++
+	h.count++
+	h.sum += int64(n)
+	if n > h.max {
+		h.max = n
+	}
+	h.mu.Unlock()
+}
+
+// SizeHistogramSnapshot is the JSON form of a SizeHistogram: exact counts
+// keyed by decimal size.
+type SizeHistogramSnapshot struct {
+	Count int64            `json:"count"`
+	Avg   float64          `json:"avg"`
+	Max   int              `json:"max"`
+	Sizes map[string]int64 `json:"sizes"`
+}
+
+// Snapshot freezes the size counts.
+func (h *SizeHistogram) Snapshot() SizeHistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := SizeHistogramSnapshot{Count: h.count, Max: h.max, Sizes: make(map[string]int64, len(h.counts))}
+	if h.count > 0 {
+		s.Avg = float64(h.sum) / float64(h.count)
+	}
+	for n, c := range h.counts {
+		s.Sizes[strconv.Itoa(n)] = c
+	}
+	return s
+}
+
+// SizeHistogramSet keys SizeHistograms by solver kind.
+type SizeHistogramSet struct {
+	mu sync.Mutex
+	m  map[string]*SizeHistogram
+}
+
+// Observe records one size under the given kind.
+func (s *SizeHistogramSet) Observe(kind string, n int) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]*SizeHistogram)
+	}
+	h := s.m[kind]
+	if h == nil {
+		h = &SizeHistogram{}
+		s.m[kind] = h
+	}
+	s.mu.Unlock()
+	h.Observe(n)
+}
+
+// Snapshot freezes every kind's size histogram (never nil).
+func (s *SizeHistogramSet) Snapshot() map[string]SizeHistogramSnapshot {
+	s.mu.Lock()
+	hs := make(map[string]*SizeHistogram, len(s.m))
+	for k, h := range s.m {
+		hs[k] = h
+	}
+	s.mu.Unlock()
+	out := make(map[string]SizeHistogramSnapshot, len(hs))
+	for k, h := range hs {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
 // Metrics aggregates the service counters exported on /metrics. All fields
 // are updated lock-free; gauges (queue depth, per-state job counts) are
 // computed at snapshot time by the server.
@@ -97,10 +220,15 @@ type Metrics struct {
 	Factorizations atomic.Int64 // IC(0) factorizations actually run (pcg misses)
 	LevelAnalyses  atomic.Int64 // triangular level analyses actually run
 
-	QueueWait Histogram // submit → execution start
-	PlanStage Histogram // matrix build + fingerprint + plan lookup/tune
-	Solve     Histogram // solver execution proper
-	Total     Histogram // submit → terminal state
+	CoalescedBatches atomic.Int64 // dispatcher groups that merged >= 2 jobs
+	BatchedJobs      atomic.Int64 // jobs executed via a multi-RHS batched solve
+
+	QueueWait     Histogram        // submit → execution start
+	QueueWaitKind HistogramSet     // queue wait broken out by solver kind
+	BatchSizes    SizeHistogramSet // dispatcher group sizes by solver kind
+	PlanStage     Histogram        // matrix build + fingerprint + plan lookup/tune
+	Solve         Histogram        // solver execution proper
+	Total         Histogram        // submit → terminal state
 }
 
 // MetricsSnapshot is the /metrics response body.
@@ -138,11 +266,29 @@ type MetricsSnapshot struct {
 		Factorizations int64 `json:"factorizations"`
 		LevelAnalyses  int64 `json:"level_analyses"`
 	} `json:"factor_cache"`
+	Batching struct {
+		// Enabled reports whether the dispatcher coalescer is active
+		// (CoalesceMax > 1); Max and WindowMS echo its configuration.
+		Enabled  bool    `json:"enabled"`
+		Max      int     `json:"max"`
+		WindowMS float64 `json:"window_ms"`
+		// CoalescedBatches counts dispatcher groups that merged >= 2 jobs;
+		// BatchedJobs counts the jobs those groups contained.
+		CoalescedBatches int64 `json:"coalesced_batches"`
+		BatchedJobs      int64 `json:"batched_jobs"`
+		// SizeByKind is the exact dispatcher group-size distribution per
+		// solver kind (empty while coalescing is disabled).
+		SizeByKind map[string]SizeHistogramSnapshot `json:"size_by_kind"`
+	} `json:"batching"`
 	Latency struct {
 		QueueWait HistogramSnapshot `json:"queue_wait"`
-		Plan      HistogramSnapshot `json:"plan"`
-		Solve     HistogramSnapshot `json:"solve"`
-		Total     HistogramSnapshot `json:"total"`
+		// QueueWaitByKind breaks queue wait out per solver kind — the signal
+		// that shows whether batchable (cg/pcg) traffic pays for the
+		// coalesce window relative to pass-through kinds.
+		QueueWaitByKind map[string]HistogramSnapshot `json:"queue_wait_by_kind"`
+		Plan            HistogramSnapshot            `json:"plan"`
+		Solve           HistogramSnapshot            `json:"solve"`
+		Total           HistogramSnapshot            `json:"total"`
 	} `json:"latency"`
 	Topology struct {
 		// Profile is the configured machine-topology profile, e.g. "epyc(8d)".

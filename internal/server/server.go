@@ -3,98 +3,28 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sync"
-	"time"
 
 	"sparsetask/internal/rt"
 	"sparsetask/internal/sched"
-	"sparsetask/internal/topo"
 )
 
-// Config sizes the service.
-type Config struct {
-	// QueueSize bounds the FIFO admission queue; a full queue rejects new
-	// jobs with 429. Default 64.
-	QueueSize int
-	// Workers is the pool size — how many jobs execute concurrently.
-	// Default 2.
-	Workers int
-	// RTWorkers is the default per-job runtime worker count (0 =
-	// GOMAXPROCS). Jobs may override with JobSpec.Workers.
-	RTWorkers int
-	// PlanCacheSize bounds the autotune plan LRU. Default 128.
-	PlanCacheSize int
-	// FactorCacheSize bounds the pcg preconditioner-factorization LRU.
-	// Default 32 (factors hold two CSR copies of the matrix's lower
-	// triangle, so the default is deliberately smaller than the plan cache).
-	FactorCacheSize int
-	// Topo names the machine-topology profile every backend runtime is built
-	// with ("flat", "auto", "broadwell", "epyc"). Unknown or empty names fall
-	// back to flat; cmd/solverd validates the flag before it gets here. The
-	// profile is part of the plan-cache key and reported on /metrics.
-	Topo string
-}
-
-func (c Config) withDefaults() Config {
-	if c.QueueSize <= 0 {
-		c.QueueSize = 64
-	}
-	if c.Workers <= 0 {
-		c.Workers = 2
-	}
-	if c.PlanCacheSize <= 0 {
-		c.PlanCacheSize = 128
-	}
-	if c.FactorCacheSize <= 0 {
-		c.FactorCacheSize = 32
-	}
-	return c
-}
-
-// Server is the solverd serving layer. Create with New, mount Handler() on
-// an http.Server, and call Drain on shutdown.
+// Server is the HTTP skin over the job Engine: it decodes and validates job
+// specs, maps the engine's admission errors to status codes, and serializes
+// job views and metrics. All queueing, coalescing, execution, and cache
+// state lives in the embedded Engine — Server adds no state of its own
+// beyond the mux. Create with New, mount Handler() on an http.Server, and
+// call Drain on shutdown.
 type Server struct {
-	cfg     Config
-	topo    topo.Topology
-	metrics *Metrics
-	plans   *PlanCache
-	factors *FactorCache
-	queue   chan *Job
-
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for GET /jobs
-	seq      int64
-	draining bool
-	runtimes map[runtimeKey]rt.Runtime // shared per-(backend,workers) instances
-
-	baseCtx    context.Context
-	baseCancel context.CancelFunc
-	workers    sync.WaitGroup
-	mux        *http.ServeMux
+	*Engine
+	mux *http.ServeMux
 }
 
-// New starts the worker pool and returns a ready server.
+// New starts an engine and wraps it in the HTTP API.
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	tp, err := topo.ByName(cfg.Topo)
-	if err != nil {
-		tp = topo.Flat() // library callers stay lenient; cmd validates the flag
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{
-		cfg:        cfg,
-		topo:       tp,
-		metrics:    &Metrics{},
-		plans:      NewPlanCache(cfg.PlanCacheSize),
-		factors:    NewFactorCache(cfg.FactorCacheSize),
-		queue:      make(chan *Job, cfg.QueueSize),
-		jobs:       make(map[string]*Job),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-	}
+	s := &Server{Engine: NewEngine(cfg)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
@@ -102,102 +32,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.workers.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
-	}
 	return s
 }
 
 // Handler exposes the HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Drain performs a graceful shutdown: stop admitting jobs (POST returns 503,
-// /healthz flips to draining), let queued and running jobs finish, and
-// return. If ctx expires first, running jobs are hard-cancelled (they
-// terminate at task granularity) and Drain returns ctx's error after the
-// pool exits.
-func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		close(s.queue) // senders hold mu and check draining first
-	}
-	s.mu.Unlock()
-
-	done := make(chan struct{})
-	go func() {
-		s.workers.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		s.baseCancel()
-		<-done
-		return ctx.Err()
-	}
-}
-
-// worker drains the admission queue until Drain closes it.
-func (s *Server) worker() {
-	defer s.workers.Done()
-	for job := range s.queue {
-		s.execute(job)
-	}
-}
-
-// submit registers and enqueues a job. It returns the job, or an HTTP
-// status and error when admission fails.
-func (s *Server) submit(spec JobSpec) (*Job, int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining")
-	}
-	s.seq++
-	job := &Job{
-		ID:        fmt.Sprintf("job-%d", s.seq),
-		Spec:      spec,
-		state:     StateQueued,
-		submitted: time.Now(),
-	}
-	select {
-	case s.queue <- job:
-	default:
-		s.seq-- // never existed
-		s.metrics.Rejected.Add(1)
-		return nil, http.StatusTooManyRequests,
-			fmt.Errorf("queue full (%d jobs)", cap(s.queue))
-	}
-	s.jobs[job.ID] = job
-	s.order = append(s.order, job.ID)
-	s.metrics.Submitted.Add(1)
-	return job, http.StatusAccepted, nil
-}
-
-// requestCancel cancels a job: queued jobs flip to canceled immediately (the
-// pool skips them on dequeue), running jobs get their context cancelled and
-// reach canceled once the runtime unwinds. Terminal jobs are left alone.
-func (s *Server) requestCancel(j *Job) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	switch j.state {
-	case StateQueued:
-		j.state = StateCanceled
-		j.err = "canceled while queued"
-		j.finished = time.Now()
-		s.metrics.Canceled.Add(1)
-		s.metrics.Total.Observe(j.finished.Sub(j.submitted))
-	case StateRunning:
-		if j.cancel != nil {
-			j.cancel()
-		}
-	}
-}
-
-// ------------------------------------------------------------- HTTP layer
+// Drain gracefully shuts the engine down (see Engine.Drain).
+func (s *Server) Drain(ctx context.Context) error { return s.Engine.Drain(ctx) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -223,28 +65,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, status, err := s.submit(spec)
+	job, err := s.Submit(spec)
 	if err != nil {
-		writeError(w, status, err)
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
-	writeJSON(w, status, job.View())
+	writeJSON(w, http.StatusAccepted, job.View())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	views := make([]JobView, 0, len(s.order))
-	for _, id := range s.order {
-		views = append(views, s.jobs[id].View())
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, views)
+	writeJSON(w, http.StatusOK, s.Views())
 }
 
 func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *Job {
-	s.mu.Lock()
-	job := s.jobs[r.PathValue("id")]
-	s.mu.Unlock()
+	job := s.JobByID(r.PathValue("id"))
 	if job == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 	}
@@ -262,7 +103,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if job == nil {
 		return
 	}
-	s.requestCancel(job)
+	s.Cancel(job)
 	writeJSON(w, http.StatusOK, job.View())
 }
 
@@ -288,6 +129,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	snap.Batching.Enabled = s.coalescing()
+	snap.Batching.Max = s.cfg.CoalesceMax
+	snap.Batching.WindowMS = float64(s.cfg.CoalesceWindow.Microseconds()) / 1000
+	snap.Batching.CoalescedBatches = m.CoalescedBatches.Load()
+	snap.Batching.BatchedJobs = m.BatchedJobs.Load()
+	snap.Batching.SizeByKind = m.BatchSizes.Snapshot()
+
 	hits, misses, evictions := s.plans.Stats()
 	snap.PlanCache.Hits = hits
 	snap.PlanCache.Misses = misses
@@ -306,6 +154,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.FactorCache.LevelAnalyses = m.LevelAnalyses.Load()
 
 	snap.Latency.QueueWait = m.QueueWait.Snapshot()
+	snap.Latency.QueueWaitByKind = m.QueueWaitKind.Snapshot()
 	snap.Latency.Plan = m.PlanStage.Snapshot()
 	snap.Latency.Solve = m.Solve.Snapshot()
 	snap.Latency.Total = m.Total.Snapshot()
@@ -325,13 +174,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
+// handleHealth reports liveness plus the queue occupancy the scale-out
+// router's spill heuristic reads (internal/route probes /healthz, not
+// /metrics, to keep the health path cheap).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	queue := map[string]int{"depth": len(s.queue), "capacity": cap(s.queue)}
 	if draining {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "draining",
+			"queue":  queue,
 		})
 		return
 	}
@@ -339,5 +193,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":   "ok",
 		"workers":  s.cfg.Workers,
 		"topology": s.topo.String(),
+		"queue":    queue,
 	})
 }

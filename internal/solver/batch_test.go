@@ -1,0 +1,369 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"sparsetask/internal/precond"
+	"sparsetask/internal/rt"
+)
+
+func batchRHS(m, k int, seed int64) [][]float64 {
+	bs := make([][]float64, k)
+	for j := range bs {
+		bs[j] = RandomRHS(m, seed+int64(j))
+	}
+	return bs
+}
+
+func TestBatchCGSolvesLaplacian(t *testing.T) {
+	n, k := 200, 4
+	coo := laplacian1D(n)
+	c, err := NewBatchCG(coo.ToCSB(32), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tol = 1e-10
+	bs := batchRHS(n, k, 3)
+	res, err := c.Solve(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 3}), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := coo.ToCSR()
+	for j, r := range res {
+		if !r.Converged {
+			t.Fatalf("column %d did not converge (relres %g after %d iters)", j, r.RelRes, r.Iterations)
+		}
+		if got := residual(csr, r.X, bs[j]); got > 1e-8 {
+			t.Fatalf("column %d true relative residual %g", j, got)
+		}
+		if r.Iterations > n {
+			t.Fatalf("column %d took %d iterations for n=%d", j, r.Iterations, n)
+		}
+	}
+}
+
+// TestBatchCGMatchesSingleRHS: every column of a batched solve must agree
+// with an independent single-RHS CG solve of the same system at 1e-12. The
+// matrix is well conditioned (strongly diagonally dominant) so solver-level
+// agreement transfers to the solutions.
+func TestBatchCGMatchesSingleRHS(t *testing.T) {
+	m, k := 120, 4
+	coo := randomSPD(m, 7)
+	bs := batchRHS(m, k, 11)
+	bc, err := NewBatchCG(coo.ToCSB(16), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Tol = 1e-13
+	res, err := bc.Solve(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 3}), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < k; j++ {
+		cg, err := NewCG(coo.ToCSB(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg.Tol = 1e-13
+		x, _, _, err := cg.Solve(context.Background(), nil, bs[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(res[j].X[i]-x[i]) > 1e-12*(1+math.Abs(x[i])) {
+				t.Fatalf("column %d: x[%d] = %v, single-RHS %v (diff %g)",
+					j, i, res[j].X[i], x[i], math.Abs(res[j].X[i]-x[i]))
+			}
+		}
+	}
+}
+
+// TestBatchCGColumnIndependence: the batched arithmetic of column j depends
+// only on b_j — swapping the *other* columns of the batch must leave column
+// j's solution bit-identical (each fixed-width kernel body processes columns
+// independently in a fixed order).
+func TestBatchCGColumnIndependence(t *testing.T) {
+	m, k := 150, 4
+	coo := laplacian1D(m)
+	shared := RandomRHS(m, 42)
+	solve := func(bs [][]float64) []float64 {
+		c, err := NewBatchCG(coo.ToCSB(32), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Solve(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 2}), bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].X
+	}
+	a := solve([][]float64{shared, RandomRHS(m, 1), RandomRHS(m, 2), RandomRHS(m, 3)})
+	b := solve([][]float64{shared, RandomRHS(m, 9), RandomRHS(m, 8), RandomRHS(m, 7)})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("x[%d] differs bitwise across batch compositions", i)
+		}
+	}
+}
+
+func TestBatchCGZeroColumn(t *testing.T) {
+	m, k := 60, 3
+	coo := randomSPD(m, 23)
+	c, err := NewBatchCG(coo.ToCSB(8), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := [][]float64{RandomRHS(m, 1), make([]float64, m), RandomRHS(m, 2)}
+	res, err := c.Solve(context.Background(), nil, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Converged || res[1].Iterations != 0 || res[1].RelRes != 0 {
+		t.Fatalf("zero column: %+v", res[1])
+	}
+	for _, v := range res[1].X {
+		if v != 0 {
+			t.Fatal("zero rhs column must give zero solution")
+		}
+	}
+	csr := coo.ToCSR()
+	for _, j := range []int{0, 2} {
+		if got := residual(csr, res[j].X, bs[j]); got > 1e-8 {
+			t.Fatalf("column %d residual %g", j, got)
+		}
+	}
+}
+
+func TestBatchCGAllRuntimesAgree(t *testing.T) {
+	m, k := 80, 4
+	coo := randomSPD(m, 17)
+	bs := batchRHS(m, k, 19)
+	var first []BatchColResult
+	for _, r := range []rt.Runtime{
+		rt.NewBSP(rt.Options{Workers: 2}),
+		rt.NewDeepSparse(rt.Options{Workers: 3}),
+		rt.NewHPX(rt.Options{Workers: 3, NUMADomains: 2}),
+		rt.NewRegent(rt.Options{Workers: 2, AnalysisCost: 5}),
+	} {
+		c, err := NewBatchCG(coo.ToCSB(10), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Solve(context.Background(), r, bs)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		for j := range res {
+			for i := range res[j].X {
+				if res[j].X[i] != first[j].X[i] {
+					t.Fatalf("%s: column %d x[%d] differs bitwise from BSP", r.Name(), j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchCGSymmetricStorage: a SymCSB-backed batch solve must agree with
+// the general-storage batch solve to high precision.
+func TestBatchCGSymmetricStorage(t *testing.T) {
+	m, k := 96, 4
+	coo := randomSPD(m, 29)
+	bs := batchRHS(m, k, 31)
+	gen, err := NewBatchCG(coo.ToCSB(16), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symm, err := coo.ToSymCSB(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := NewBatchCG(symm, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := gen.Solve(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 2}), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sym.Solve(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 2}), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range rg {
+		for i := range rg[j].X {
+			if math.Abs(rg[j].X[i]-rs[j].X[i]) > 1e-9*(1+math.Abs(rg[j].X[i])) {
+				t.Fatalf("column %d: x[%d] general %v vs symmetric %v", j, i, rg[j].X[i], rs[j].X[i])
+			}
+		}
+	}
+}
+
+func TestBatchCGValidation(t *testing.T) {
+	coo := randomSPD(10, 1)
+	if _, err := NewBatchCG(coo.ToCSB(4), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	c, err := NewBatchCG(coo.ToCSB(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(context.Background(), nil, [][]float64{make([]float64, 10)}); err == nil {
+		t.Error("wrong batch width accepted")
+	}
+	if _, err := c.Solve(context.Background(), nil, [][]float64{make([]float64, 10), make([]float64, 3)}); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+}
+
+// TestBatchPCGMatchesSingleRHS: the batched IC(0)-preconditioned solve (with
+// width-k triangular solves) must agree with independent single-RHS PCG
+// solves.
+func TestBatchPCGMatchesSingleRHS(t *testing.T) {
+	coo := laplacian2D(16)
+	n := coo.Rows
+	k := 4
+	csr := coo.ToCSR()
+	m, err := precond.Factorize(csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != precond.KindIC0 {
+		t.Fatalf("expected IC0, got %v", m.Kind)
+	}
+	bs := batchRHS(n, k, 5)
+	bc, err := NewBatchPCG(coo.ToCSB(32), m, k, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Tol = 1e-12
+	res, err := bc.Solve(context.Background(), rt.NewDeepSparse(rt.Options{Workers: 3}), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < k; j++ {
+		if !res[j].Converged {
+			t.Fatalf("column %d did not converge", j)
+		}
+		if got := residual(csr, res[j].X, bs[j]); got > 1e-9 {
+			t.Fatalf("column %d true residual %g", j, got)
+		}
+		pc, err := NewPCG(coo.ToCSB(32), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc.Tol = 1e-12
+		x, _, _, err := pc.Solve(context.Background(), nil, bs[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(res[j].X[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				t.Fatalf("column %d: x[%d] = %v, single-RHS PCG %v", j, i, res[j].X[i], x[i])
+			}
+		}
+	}
+}
+
+// TestBatchPCGJacobiFallback: a batched solve against a Jacobi-kind
+// preconditioner routes through the width-k DiagScale path.
+func TestBatchPCGJacobiFallback(t *testing.T) {
+	m := 80
+	coo := randomSPD(m, 37)
+	csr := coo.ToCSR()
+	dinv := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for p := csr.RowPtr[i]; p < csr.RowPtr[i+1]; p++ {
+			if int(csr.ColIdx[p]) == i {
+				dinv[i] = 1 / csr.V[p]
+			}
+		}
+	}
+	jac := &precond.IC0{Kind: precond.KindJacobi, Rows: m, DiagInv: dinv}
+	k := 3
+	bs := batchRHS(m, k, 41)
+	c, err := NewBatchPCG(coo.ToCSB(16), jac, k, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Solve(context.Background(), rt.NewHPX(rt.Options{Workers: 2}), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range res {
+		if !res[j].Converged {
+			t.Fatalf("column %d did not converge", j)
+		}
+		if got := residual(csr, res[j].X, bs[j]); got > 1e-8 {
+			t.Fatalf("column %d residual %g", j, got)
+		}
+	}
+}
+
+func TestBatchCGSteadyIterationAllocs(t *testing.T) {
+	a := laplacian1D(600).ToCSB(64)
+	bs := batchRHS(600, 4, 3)
+	for _, tc := range allocWorkerCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewBatchCG(a, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.initState(bs)
+			pr := rt.PrepareRun(rt.NewDeepSparse(rt.Options{Workers: tc.workers}), c.g, c.st)
+			defer pr.Close()
+			ctx := context.Background()
+			step := func() {
+				c.state.it++
+				if _, err := c.iterate(ctx, pr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 8; i++ {
+				step()
+			}
+			if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
+				t.Fatalf("steady-state BatchCG iteration allocates %.0f times, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestBatchPCGSteadyIterationAllocs(t *testing.T) {
+	coo := laplacian2D(24)
+	n := coo.Rows
+	m, err := precond.Factorize(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := batchRHS(n, 4, 3)
+	for _, tc := range allocWorkerCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewBatchPCG(coo.ToCSB(32), m, 4, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.initState(bs)
+			pr := rt.PrepareRun(rt.NewDeepSparse(rt.Options{Workers: tc.workers}), c.g, c.st)
+			defer pr.Close()
+			ctx := context.Background()
+			step := func() {
+				c.state.it++
+				if _, err := c.iterate(ctx, pr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 8; i++ {
+				step()
+			}
+			if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
+				t.Fatalf("steady-state BatchPCG iteration allocates %.0f times, want 0", allocs)
+			}
+		})
+	}
+}

@@ -171,16 +171,16 @@ func (a *CSB) BlockSpMM(y, x []float64, n, bi, bj int) {
 	case 2:
 		for p := range v {
 			vv := v[p]
-			yi := ys[int(ri[p])*2:]
-			xj := xs[int(ci[p])*2:]
+			yi := ys[int(ri[p])*2:][:2]
+			xj := xs[int(ci[p])*2:][:2]
 			yi[0] += vv * xj[0]
 			yi[1] += vv * xj[1]
 		}
 	case 4:
 		for p := range v {
 			vv := v[p]
-			yi := ys[int(ri[p])*4:]
-			xj := xs[int(ci[p])*4:]
+			yi := ys[int(ri[p])*4:][:4]
+			xj := xs[int(ci[p])*4:][:4]
 			yi[0] += vv * xj[0]
 			yi[1] += vv * xj[1]
 			yi[2] += vv * xj[2]

@@ -3,9 +3,10 @@
 #
 # Runs cmd/perfbench (kernel microbenches — general and symmetric-storage
 # SpMV/SpMM pairs — fixed-iteration solver runs per backend, the IC(0)
-# triangular-solve and PCG benches, and a short in-process solverd load run)
-# and writes/updates BENCH_PR8.json. A fresh BENCH_PR8.json is seeded from the
-# BENCH_PR6.json trajectory so the pre-existing benches keep their original
+# triangular-solve and PCG benches, the multi-RHS batched-CG vs sequential
+# comparison, and a short in-process solverd load run) and writes/updates
+# BENCH_PR9.json. A fresh BENCH_PR9.json is seeded from the
+# BENCH_PR8.json trajectory so the pre-existing benches keep their original
 # baseline; benches new to this harness adopt their first measurement as
 # baseline. The stored "baseline" section is preserved across runs so the
 # committed file always shows current-vs-baseline speedups; use
@@ -21,7 +22,7 @@
 # for symmetric rows the matrix-bytes ratio and speedup versus the paired
 # general bench.
 #
-#   ./scripts/bench.sh                      # standard run, updates BENCH_PR8.json
+#   ./scripts/bench.sh                      # standard run, updates BENCH_PR9.json
 #   BENCHTIME=1s ./scripts/bench.sh         # longer per-bench measuring time
 #   ./scripts/bench.sh -loadgen 0           # skip the serving-layer section
 #
@@ -30,11 +31,11 @@
 set -e
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR8.json}"
+OUT="${OUT:-BENCH_PR9.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 
-if [ "$OUT" = "BENCH_PR8.json" ] && [ ! -f "$OUT" ] && [ -f BENCH_PR6.json ]; then
-    cp BENCH_PR6.json "$OUT" # carry the PR-6 trajectory forward
+if [ "$OUT" = "BENCH_PR9.json" ] && [ ! -f "$OUT" ] && [ -f BENCH_PR8.json ]; then
+    cp BENCH_PR8.json "$OUT" # carry the PR-8 trajectory forward
 fi
 
 go build ./...

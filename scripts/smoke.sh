@@ -1,31 +1,51 @@
 #!/bin/sh
-# End-to-end smoke test for the serving layer: build solverd + loadgen, start
-# the daemon, run a 10 s closed-loop load, and require non-zero throughput.
+# End-to-end smoke test for the serving layer, in two acts:
+#
+#  1. single shard: build solverd + loadgen, start the daemon, run a 10 s
+#     closed-loop load, and require non-zero throughput.
+#  2. scale-out: start two solverd shards plus the solverfront router, push
+#     four identical-matrix cg jobs through the router, and require that
+#     (a) every one landed on the same shard (fingerprint-stable rendezvous
+#     assignment) and (b) at least two carry a batch_size in their result,
+#     proving the shard's coalescer merged them into one multi-RHS solve.
+#
 # Used manually and as the serving-layer acceptance check; see README.md.
 set -eu
 
 PORT="${PORT:-18080}"
 DURATION="${DURATION:-10s}"
 BIN="$(mktemp -d)"
-trap 'kill "$SOLVERD_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
 
 cd "$(dirname "$0")/.."
 go build -o "$BIN/solverd" ./cmd/solverd
 go build -o "$BIN/loadgen" ./cmd/loadgen
+go build -o "$BIN/solverfront" ./cmd/solverfront
+
+# wait_healthy <url> <what>: poll /healthz for up to ~5 s.
+wait_healthy() {
+    i=0
+    until curl -sf "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "smoke: $2 never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# --- act 1: single shard under closed-loop load -----------------------------
 
 "$BIN/solverd" -addr "127.0.0.1:$PORT" -workers 2 &
 SOLVERD_PID=$!
-
-# Wait for /healthz (up to ~5 s).
-i=0
-until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "smoke: solverd never became healthy" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+PIDS="$PIDS $SOLVERD_PID"
+wait_healthy "http://127.0.0.1:$PORT/healthz" solverd
 
 # loadgen exits non-zero when no job completes, which fails the script via
 # set -e: that is the smoke assertion.
@@ -33,7 +53,84 @@ done
 
 echo "--- /metrics after load ---"
 curl -s "http://127.0.0.1:$PORT/metrics"
+echo
 
 kill "$SOLVERD_PID"
 wait "$SOLVERD_PID" 2>/dev/null || true
+
+# --- act 2: router + two shards ---------------------------------------------
+
+PA=$((PORT + 1))
+PB=$((PORT + 2))
+PF=$((PORT + 3))
+
+# A wide coalesce window so the four submissions below land in one dispatch
+# group; one worker per shard so the first job cannot start before the window
+# closes.
+"$BIN/solverd" -addr "127.0.0.1:$PA" -workers 1 -coalesce 8 -coalesce-window 500ms &
+PIDS="$PIDS $!"
+"$BIN/solverd" -addr "127.0.0.1:$PB" -workers 1 -coalesce 8 -coalesce-window 500ms &
+PIDS="$PIDS $!"
+wait_healthy "http://127.0.0.1:$PA/healthz" "shard alpha"
+wait_healthy "http://127.0.0.1:$PB/healthz" "shard beta"
+
+"$BIN/solverfront" -addr "127.0.0.1:$PF" \
+    -shards "alpha=http://127.0.0.1:$PA,beta=http://127.0.0.1:$PB" &
+PIDS="$PIDS $!"
+wait_healthy "http://127.0.0.1:$PF/healthz" solverfront
+
+SPEC='{"solver":"cg","backend":"deepsparse","matrix":{"suite":"inline1","preset":"tiny","seed":7}}'
+IDS=""
+for i in 1 2 3 4; do
+    ID=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$SPEC" \
+        "http://127.0.0.1:$PF/jobs" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+    if [ -z "$ID" ]; then
+        echo "smoke: router submit $i failed" >&2
+        exit 1
+    fi
+    IDS="$IDS $ID"
+done
+
+# (a) fingerprint-stable assignment: identical matrices must share one shard.
+SHARDS=$(for id in $IDS; do echo "${id%%:*}"; done | sort -u)
+if [ "$(echo "$SHARDS" | wc -l)" -ne 1 ]; then
+    echo "smoke: same-matrix jobs landed on multiple shards:" $SHARDS >&2
+    exit 1
+fi
+echo "smoke: all 4 same-matrix jobs routed to shard '$SHARDS'"
+
+# (b) batch coalescing end to end: wait for every job, count batched results.
+BATCHED=0
+for id in $IDS; do
+    i=0
+    while :; do
+        OUT=$(curl -s "http://127.0.0.1:$PF/jobs/$id")
+        case "$OUT" in
+        *'"state": "done"'*) break ;;
+        *'"state": "failed"'* | *'"state": "canceled"'*)
+            echo "smoke: job $id did not succeed: $OUT" >&2
+            exit 1
+            ;;
+        esac
+        i=$((i + 1))
+        if [ "$i" -ge 300 ]; then
+            echo "smoke: job $id never finished: $OUT" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    case "$OUT" in
+    *'"batch_size"'*) BATCHED=$((BATCHED + 1)) ;;
+    esac
+done
+if [ "$BATCHED" -lt 2 ]; then
+    echo "smoke: only $BATCHED/4 results were coalesced (want >= 2)" >&2
+    exit 1
+fi
+echo "smoke: $BATCHED/4 jobs ran inside a coalesced multi-RHS batch"
+
+echo "--- router /metrics ---"
+curl -s "http://127.0.0.1:$PF/metrics"
+echo
+
 echo "smoke: OK"
