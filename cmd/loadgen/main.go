@@ -197,7 +197,11 @@ func main() {
 		if solver != "cg" {
 			spec["k"] = *k
 		}
-		body, _ := json.Marshal(spec)
+		body, err := json.Marshal(spec)
+		if err != nil {
+			log.Printf("submit: marshal: %v", err)
+			return true
+		}
 		submitted := time.Now()
 		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -208,9 +212,15 @@ func main() {
 		var v jobView
 		code := resp.StatusCode
 		if code == http.StatusAccepted {
-			_ = json.NewDecoder(resp.Body).Decode(&v)
+			decErr := json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if decErr != nil {
+				log.Printf("submit: decode: %v", decErr)
+				return true
+			}
+		} else {
+			resp.Body.Close()
 		}
-		resp.Body.Close()
 		if code == http.StatusTooManyRequests {
 			st.record("rejected", 0)
 			return false
@@ -225,8 +235,12 @@ func main() {
 				log.Printf("poll %s: %v", v.ID, err)
 				return true
 			}
-			_ = json.NewDecoder(resp.Body).Decode(&v)
+			decErr := json.NewDecoder(resp.Body).Decode(&v)
 			resp.Body.Close()
+			if decErr != nil {
+				log.Printf("poll %s: decode: %v", v.ID, decErr)
+				return true
+			}
 			if terminal(v.State) {
 				st.record(v.State, time.Since(submitted))
 				return true

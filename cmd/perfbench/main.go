@@ -798,7 +798,9 @@ func servingBench(d time.Duration) measurement {
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		srv.Drain(ctx)
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: loadgen drain: %v\n", err)
+		}
 	}()
 
 	type result struct {
@@ -820,7 +822,10 @@ func servingBench(d time.Duration) measurement {
 					"seed":    1,
 					"k":       4,
 				}
-				body, _ := json.Marshal(spec)
+				body, err := json.Marshal(spec)
+				if err != nil {
+					continue
+				}
 				start := time.Now()
 				resp, err := client.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
 				if err != nil {
@@ -830,9 +835,9 @@ func servingBench(d time.Duration) measurement {
 					ID    string `json:"id"`
 					State string `json:"state"`
 				}
-				json.NewDecoder(resp.Body).Decode(&v)
+				decErr := json.NewDecoder(resp.Body).Decode(&v)
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusAccepted {
+				if decErr != nil || resp.StatusCode != http.StatusAccepted {
 					time.Sleep(5 * time.Millisecond)
 					continue
 				}
@@ -841,8 +846,11 @@ func servingBench(d time.Duration) measurement {
 					if err != nil {
 						break
 					}
-					json.NewDecoder(pr.Body).Decode(&v)
+					decErr := json.NewDecoder(pr.Body).Decode(&v)
 					pr.Body.Close()
+					if decErr != nil {
+						break
+					}
 					if v.State == "done" || v.State == "failed" || v.State == "canceled" {
 						if v.State == "done" {
 							res.done++

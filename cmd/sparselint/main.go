@@ -1,9 +1,12 @@
 // Command sparselint runs the repo-specific static-analysis pass over the
 // whole module: zero-allocation hot paths (propagated over the call graph),
 // lock discipline, deque ownership, context-first APIs, determinism of
-// graph/kernel packages, atomic-field consistency, goroutine exit paths, and
-// bounds-check-elimination hygiene. It is stdlib-only (go/parser + go/types
-// with the source importer) and is wired into `make lint` / `make check`.
+// graph/kernel packages, atomic-field consistency, goroutine exit paths,
+// bounds-check-elimination hygiene, untrusted-input taint tracking on the
+// serving path (flow-sensitive, over per-function CFGs with interprocedural
+// summaries), and all-paths error-handling discipline in server/route/cmd.
+// It is stdlib-only (go/parser + go/types with the source importer) and is
+// wired into `make lint` / `make check`.
 //
 // Usage:
 //

@@ -18,6 +18,8 @@ func TestReportSchemaGolden(t *testing.T) {
 		Total:   1,
 		Analyzers: []lint.AnalyzerStat{
 			{Name: "hotpathalloc", Findings: 1, WallMS: 2.5},
+			{Name: "taint", Findings: 0, WallMS: 8.25},
+			{Name: "errflow", Findings: 0, WallMS: 1.75},
 			{Name: "directive", Findings: 0, WallMS: 0},
 		},
 		Findings: []lint.Finding{
@@ -37,13 +39,23 @@ func TestReportSchemaGolden(t *testing.T) {
 	}
 
 	const golden = `{
-  "version": 1,
+  "version": 2,
   "total": 1,
   "analyzers": [
     {
       "name": "hotpathalloc",
       "findings": 1,
       "wall_ms": 2.5
+    },
+    {
+      "name": "taint",
+      "findings": 0,
+      "wall_ms": 8.25
+    },
+    {
+      "name": "errflow",
+      "findings": 0,
+      "wall_ms": 1.75
     },
     {
       "name": "directive",

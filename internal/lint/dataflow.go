@@ -1,0 +1,85 @@
+package lint
+
+import "go/ast"
+
+// The dataflow engine: a forward worklist solver over the CFG of one
+// function. An analysis supplies an abstract state (flowState) and two
+// operations (flowTransfers); the solver computes the fixpoint of block
+// entry states. Both lattices used here (taint marks, error-check facts) are
+// finite per function, so the fixpoint terminates; an iteration cap guards
+// against a non-monotone transfer bug turning into a hang.
+
+// flowState is one analysis' abstract state at a program point.
+type flowState interface {
+	// clone returns an independent copy.
+	clone() flowState
+	// mergeFrom joins other into the receiver (the join at a CFG merge
+	// point) and reports whether the receiver changed.
+	mergeFrom(other flowState) bool
+}
+
+// flowTransfers is the analysis half of the engine.
+type flowTransfers interface {
+	// transfer mutates st through the evaluation of one CFG node.
+	transfer(st flowState, n ast.Node)
+	// refine mutates st with the knowledge that cond evaluated to true
+	// (negated false) or false (negated true) on the edge being followed.
+	refine(st flowState, cond ast.Expr, negated bool)
+}
+
+// solveForward runs the worklist algorithm and returns the entry state of
+// every reachable block. The returned map never contains unreachable blocks.
+func solveForward(g *CFG, tr flowTransfers, entry flowState) map[*CFGBlock]flowState {
+	in := map[*CFGBlock]flowState{g.Entry: entry}
+	work := []*CFGBlock{g.Entry}
+	queued := map[*CFGBlock]bool{g.Entry: true}
+	steps, limit := 0, 256*(len(g.Blocks)+1)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		if steps++; steps > limit {
+			break
+		}
+		out := in[blk].clone()
+		for _, n := range blk.Nodes {
+			tr.transfer(out, n)
+		}
+		for _, e := range blk.Succs {
+			st := out.clone()
+			if e.Cond != nil {
+				tr.refine(st, e.Cond, e.Negated)
+			}
+			cur, ok := in[e.To]
+			changed := false
+			if !ok {
+				in[e.To] = st
+				changed = true
+			} else {
+				changed = cur.mergeFrom(st)
+			}
+			if changed && !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}
+
+// replayBlocks re-runs the transfer function over every reachable block in
+// index order, starting each block from its solved entry state. Analyses use
+// this as the reporting pass: with the fixpoint known, a second traversal
+// with reporting enabled sees every node exactly once under its final facts.
+func replayBlocks(g *CFG, tr flowTransfers, solved map[*CFGBlock]flowState) {
+	for _, blk := range g.Blocks {
+		st, ok := solved[blk]
+		if !ok {
+			continue
+		}
+		work := st.clone()
+		for _, n := range blk.Nodes {
+			tr.transfer(work, n)
+		}
+	}
+}

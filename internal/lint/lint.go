@@ -25,6 +25,10 @@
 //	//                              reachable from an owner loop (dequeowner)
 //	//sparselint:ownerloop        — function is an owning worker loop: the
 //	//                              root set for dequeowner reachability
+//	//sparselint:validator        — function is a sanctioned admission check:
+//	//                              ingress fields it upper-bounds (or
+//	//                              switch-validates) are clean module-wide
+//	//                              for the taint analyzer
 //
 // # Suppression
 //
@@ -41,8 +45,10 @@ import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -93,6 +99,8 @@ func Analyzers() []*Analyzer {
 		atomicFieldAnalyzer(),
 		goleakAnalyzer(),
 		bceAnalyzer(),
+		taintAnalyzer(),
+		errflowAnalyzer(),
 	}
 }
 
@@ -124,8 +132,9 @@ type Report struct {
 	Findings  []Finding      `json:"findings"`
 }
 
-// ReportVersion is the current Report schema version.
-const ReportVersion = 1
+// ReportVersion is the current Report schema version. Version 2 added the
+// taint and errflow analyzers to the stats block.
+const ReportVersion = 2
 
 // Run executes the analyzers over prog, applies //lint:ignore suppressions,
 // and returns the surviving findings sorted by position.
@@ -134,21 +143,51 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
+// lintWorkers is the bounded pool size for the parallel phases (package
+// parsing, analyzer execution).
+func lintWorkers() int {
+	n := runtime.NumCPU()
+	if n < 1 {
+		return 1
+	}
+	if n > 8 {
+		return 8
+	}
+	return n
+}
+
 // RunStats is Run plus per-analyzer surviving-finding counts and wall times
 // (in analyzer order, with a trailing "directive" entry for the suppression
-// machinery's own findings).
+// machinery's own findings). Analyzers run concurrently on a bounded worker
+// pool — the typed ASTs and call graph are read-only by contract — and each
+// writes to its own finding slice; concatenation in registration order plus
+// the final position sort keep the output byte-identical to a serial run.
 func RunStats(prog *Program, analyzers []*Analyzer) ([]Finding, []AnalyzerStat) {
 	graph := BuildCallGraph(prog)
+	perAnalyzer := make([][]Finding, len(analyzers))
+	walls := make([]float64, len(analyzers))
+	sem := make(chan struct{}, lintWorkers())
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			a.Run(&Pass{Prog: prog, Graph: graph, analyzer: a, findings: &perAnalyzer[i]})
+			walls[i] = float64(time.Since(start)) / float64(time.Millisecond)
+		}(i, a)
+	}
+	wg.Wait()
 	var findings []Finding
 	stats := make([]AnalyzerStat, 0, len(analyzers)+1)
-	for _, a := range analyzers {
-		start := time.Now()
-		from := len(findings)
-		a.Run(&Pass{Prog: prog, Graph: graph, analyzer: a, findings: &findings})
+	for i, a := range analyzers {
+		findings = append(findings, perAnalyzer[i]...)
 		stats = append(stats, AnalyzerStat{
 			Name:     a.Name,
-			Findings: len(findings) - from,
-			WallMS:   float64(time.Since(start)) / float64(time.Millisecond),
+			Findings: len(perAnalyzer[i]),
+			WallMS:   walls[i],
 		})
 	}
 	sup, malformed := collectSuppressions(prog)

@@ -79,6 +79,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"atomicfield", "fixture/atomicfield"},
 		{"goleak", "fixture/internal/sched"},
 		{"bce", "fixture/bce"},
+		{"taint", "fixture/internal/server"},
+		{"errflow", "fixture/internal/server"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -150,6 +152,9 @@ func TestDirectiveValidation(t *testing.T) {
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
+	}
+	if got := len(Analyzers()); got != 10 {
+		t.Fatalf("analyzer set has %d entries, want 10 — update this meta-test when adding analyzers", got)
 	}
 	prog, err := LoadModule(filepath.Join("..", ".."))
 	if err != nil {

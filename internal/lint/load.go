@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked module package.
@@ -102,6 +103,25 @@ func LoadModule(root string) (*Program, error) {
 	}
 	fset := token.NewFileSet()
 
+	// Parsing is embarrassingly parallel (token.FileSet is concurrency-safe)
+	// and dominates load time after the stdlib import cache warms; fan it out
+	// over a bounded pool. Results are consumed in directory order, so the
+	// program layout stays deterministic.
+	parsedFiles := make([][]*ast.File, len(dirs))
+	parseErrs := make([]error, len(dirs))
+	sem := make(chan struct{}, lintWorkers())
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parsedFiles[i], parseErrs[i] = parseDir(fset, dir)
+		}(i, dir)
+	}
+	wg.Wait()
+
 	type parsed struct {
 		path    string
 		dir     string
@@ -110,8 +130,8 @@ func LoadModule(root string) (*Program, error) {
 	}
 	var pkgs []*parsed
 	byPath := make(map[string]*parsed)
-	for _, dir := range dirs {
-		files, err := parseDir(fset, dir)
+	for i, dir := range dirs {
+		files, err := parsedFiles[i], parseErrs[i]
 		if err != nil {
 			return nil, err
 		}

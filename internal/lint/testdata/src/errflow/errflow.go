@@ -1,0 +1,116 @@
+// Package errflowfix exercises the errflow analyzer: error values must be
+// checked on every path, never overwritten unchecked, discarded to the blank
+// identifier, or dropped in statement/go/defer position. Loaded as
+// fixture/internal/server so the serving-path scoping applies.
+package errflowfix
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+var errBoom = errors.New("boom")
+
+func mightFail() error { return errBoom }
+
+func parseish() (int, error) { return 0, errBoom }
+
+// ---------------------------------------------------------------- positives
+
+func uncheckedOnOnePath(flag bool) {
+	err := mightFail() // want `error assigned to err may reach a return without being checked`
+	if flag {
+		if err != nil {
+			println("failed")
+		}
+	}
+}
+
+func overwritten() error {
+	err := mightFail()
+	err = mightFail() // want `err is overwritten before the error assigned at line \d+ is checked`
+	return err
+}
+
+func discarded() {
+	_ = mightFail() // want `error result of mightFail is discarded; handle it or suppress with a reason`
+}
+
+func tupleDiscard() int {
+	n, _ := parseish() // want `error result of parseish is discarded; handle it or suppress with a reason`
+	return n
+}
+
+func dropped() {
+	mightFail() // want `error result of mightFail is dropped in statement position; check it`
+}
+
+func droppedGo() {
+	go mightFail() // want `error result of mightFail is dropped in go statement position; check it`
+}
+
+func droppedDefer(w *bufio.Writer) {
+	defer w.Flush() // want `error result of w\.Flush is dropped in defer position; check it`
+}
+
+// ---------------------------------------------------------------- negatives
+
+func checked() error {
+	err := mightFail()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferWrap observes err from a closure: the deferred error-wrapper idiom
+// counts as a check.
+func deferWrap() (res error) {
+	err := mightFail()
+	defer func() {
+		if err != nil {
+			res = err
+		}
+	}()
+	return nil
+}
+
+// namedResult assigns to a named error result: that is the function's
+// answer, implicitly returned, not an unchecked obligation.
+func namedResult() (err error) {
+	err = mightFail()
+	return
+}
+
+func passedAlong() {
+	err := mightFail()
+	report(err)
+}
+
+func report(err error) {
+	if err != nil {
+		println("reported:", err.Error())
+	}
+}
+
+func closeExempt(f *os.File) {
+	defer f.Close()
+}
+
+func printExempt() {
+	fmt.Println("ok")
+}
+
+func hashExempt(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+func suppressedDrop() {
+	//lint:ignore sparselint/errflow fixture exercises the suppression path
+	mightFail()
+}

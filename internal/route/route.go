@@ -466,6 +466,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//lint:ignore sparselint/errflow status line is already on the wire; an encode failure here has no channel back to the client
 	_ = enc.Encode(v)
 }
 
@@ -476,5 +477,6 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func writeRaw(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//lint:ignore sparselint/errflow status line is already on the wire; a short write has no channel back to the client
 	_, _ = w.Write(body)
 }

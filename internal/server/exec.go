@@ -207,6 +207,10 @@ func (e *Engine) runBatchJobs(group []*Job) {
 	e.mu.Unlock()
 
 	results, shared, err := e.runBatch(ctx, jobs)
+	// Classify the batch-level outcome once, before the per-job loop: the
+	// error is shared by every member, and the loop is not the place to
+	// decide what it means.
+	batchCanceled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 
 	fin := time.Now()
 	for i, j := range jobs {
@@ -214,7 +218,7 @@ func (e *Engine) runBatchJobs(group []*Job) {
 		j.finished = fin
 		j.cancel = nil
 		switch {
-		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		case batchCanceled:
 			j.state = StateCanceled
 			j.err = err.Error()
 			e.metrics.Canceled.Add(1)

@@ -84,7 +84,21 @@ type JobSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// Admission ceilings for the numeric JobSpec knobs. The spec is decoded
+// straight from the request body, so every field that sizes an allocation, a
+// loop, a pool, or a deadline gets an explicit upper bound here — the one
+// place requests are admitted — instead of ad-hoc clamps at use sites.
+const (
+	maxSpecK          = 4096          // eigenpair count / LOBPCG block size
+	maxSpecIters      = 1 << 20       // fixed-iteration benchmarking mode
+	maxSpecWorkers    = 1024          // per-job worker override
+	maxSpecBlock      = 1 << 22       // forced CSB block size in rows
+	maxSpecDeadlineMS = 24 * 3600_000 // one day, in milliseconds
+)
+
 // Validate rejects malformed specs before they enter the queue.
+//
+//sparselint:validator
 func (s *JobSpec) Validate() error {
 	switch s.Solver {
 	case "lanczos", "lobpcg", "cg", "pcg":
@@ -112,6 +126,21 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.K < 0 || s.Iters < 0 || s.Workers < 0 || s.Block < 0 || s.DeadlineMS < 0 {
 		return fmt.Errorf("k, iters, workers, block, and deadline_ms must be non-negative")
+	}
+	if s.K > maxSpecK {
+		return fmt.Errorf("k must be at most %d, got %d", maxSpecK, s.K)
+	}
+	if s.Iters > maxSpecIters {
+		return fmt.Errorf("iters must be at most %d, got %d", maxSpecIters, s.Iters)
+	}
+	if s.Workers > maxSpecWorkers {
+		return fmt.Errorf("workers must be at most %d, got %d", maxSpecWorkers, s.Workers)
+	}
+	if s.Block > maxSpecBlock {
+		return fmt.Errorf("block must be at most %d, got %d", maxSpecBlock, s.Block)
+	}
+	if s.DeadlineMS > maxSpecDeadlineMS {
+		return fmt.Errorf("deadline_ms must be at most %d, got %d", maxSpecDeadlineMS, s.DeadlineMS)
 	}
 	return nil
 }

@@ -46,6 +46,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//lint:ignore sparselint/errflow status line is already on the wire; an encode failure here has no channel back to the client
 	_ = enc.Encode(v)
 }
 

@@ -13,6 +13,16 @@ import (
 // suite. Pattern entries get value 1.0 (callers typically follow with
 // FillRandom, as the paper does for binary matrices).
 
+// MaxDim and MaxEntries bound what a MatrixMarket size line may declare.
+// The header is untrusted input (it arrives inline in solverd job specs),
+// and the declared dimensions size allocations and drive loops in every
+// structure built from the parse, so they are clamped here — once, at the
+// trust boundary — rather than re-checked at each use site.
+const (
+	MaxDim     = 1 << 27 // rows/cols ceiling; comfortably inside int32 indexing
+	MaxEntries = 1 << 28 // declared-nnz ceiling for the entry-reading loop
+)
+
 // ReadMatrixMarket parses a MatrixMarket coordinate stream into COO.
 // Symmetric inputs are expanded to full storage.
 func ReadMatrixMarket(r io.Reader) (*COO, error) {
@@ -52,6 +62,17 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("sparse: bad MatrixMarket dimensions %dx%d", rows, cols)
 	}
+	// The size line is untrusted input: it sizes index arrays, CSR/CSB
+	// structure allocations, and entry loops everywhere downstream, so a
+	// hostile header must not get past this point. MaxDim bounds what the
+	// int32-indexed kernels can address anyway; MaxEntries bounds the entry
+	// loop and the pre-allocation below.
+	if rows > MaxDim || cols > MaxDim {
+		return nil, fmt.Errorf("sparse: MatrixMarket dimensions %dx%d exceed the %d limit", rows, cols, MaxDim)
+	}
+	if nnz < 0 || nnz > MaxEntries {
+		return nil, fmt.Errorf("sparse: MatrixMarket entry count %d exceeds the %d limit", nnz, MaxEntries)
+	}
 	if sym == "symmetric" && rows != cols {
 		return nil, fmt.Errorf("sparse: symmetric MatrixMarket matrix must be square, got %dx%d", rows, cols)
 	}
@@ -60,10 +81,10 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 	if sym == "symmetric" {
 		hint = 2 * nnz
 	}
-	// Cap the pre-allocation: the size line is untrusted input and entries
-	// are appended anyway, so a hostile nnz must not drive a huge make().
+	// Cap the pre-allocation further: entries are appended anyway, so even an
+	// in-range nnz need not drive a huge up-front make().
 	const maxHint = 1 << 22
-	if hint < 0 || hint > maxHint {
+	if hint > maxHint {
 		hint = maxHint
 	}
 	a := NewCOO(rows, cols, hint)

@@ -31,9 +31,11 @@ go run ./cmd/sparselint -json ./... > lint-report.json || status=$?
 awk '
     /"name":/     { gsub(/[",]/, "", $2); name = $2 }
     /"findings":/ { gsub(/,/, "", $2); n = $2 }
-    /"wall_ms":/  { gsub(/,/, "", $2); printf "  %-14s %3d finding(s)  %8.1f ms\n", name, n, $2 }
+    /"wall_ms":/  { gsub(/,/, "", $2); printf "  %-14s %3d finding(s)  %8.1f ms\n", name, n, $2
+                    if ($2 + 0 > slow_ms + 0) { slow_ms = $2; slow = name } }
     /"total":/    { gsub(/,/, "", $2); total = $2 }
-    END           { printf "  %-14s %3d finding(s)  (report: lint-report.json)\n", "total", total }
+    END           { printf "  %-14s %3d finding(s)  (report: lint-report.json)\n", "total", total
+                    if (slow != "") printf "  slowest analyzer: %s (%.1f ms)\n", slow, slow_ms }
 ' lint-report.json
 
 if [ "$status" -ne 0 ]; then
